@@ -1,0 +1,234 @@
+package gcs
+
+// One benchmark per experiment in the reproduction index (DESIGN.md §4).
+// The paper has no measurement tables — its evaluation is its constructions —
+// so each benchmark executes the corresponding construction/scenario and
+// reports the headline quantity via b.ReportMetric, making `go test -bench`
+// a one-command regeneration of every checkable result. cmd/gcsbench prints
+// the full tables.
+
+import (
+	"testing"
+
+	"gcs/internal/experiments"
+)
+
+func BenchmarkE1Shift(b *testing.B) {
+	opt := experiments.DefaultE1(AllProtocols())
+	opt.Distances = []int64{1, 8}
+	var sep float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E1Shift(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sep = rows[len(rows)-1].Separation.Float64()
+	}
+	b.ReportMetric(sep, "separation@d=8")
+}
+
+func BenchmarkE2AddSkew(b *testing.B) {
+	opt := experiments.DefaultE2(AllProtocols())
+	opt.Lines = []int{9, 17}
+	opt.RenderFigure = false
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows, _, _, err := experiments.E2AddSkew(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rows[len(rows)-1].Gain.Float64()
+	}
+	b.ReportMetric(gain, "gain@n=17")
+}
+
+func BenchmarkE3BoundedIncrease(b *testing.B) {
+	opt := experiments.DefaultE3(AllProtocols())
+	var implied float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E3BoundedIncrease(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		implied = rows[len(rows)-1].ImpliedF1.Float64()
+	}
+	b.ReportMetric(implied, "impliedF1")
+}
+
+func BenchmarkE4MainTheorem(b *testing.B) {
+	opt := experiments.DefaultE4(AllProtocols()[1:2]) // max-gossip only: the heavy one
+	opt.RoundsList = []int{3}
+	var adj float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E4MainTheorem(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adj = rows[len(rows)-1].AdjacentSkew.Float64()
+	}
+	b.ReportMetric(adj, "adjacentSkew@D=65")
+}
+
+func BenchmarkE5Counterexample(b *testing.B) {
+	opt := experiments.DefaultE5(AllProtocols())
+	opt.Dcs = []int64{16}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E5Counterexample(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Protocol == "max-gossip" {
+				ratio = r.PeakOverDc
+			}
+		}
+	}
+	b.ReportMetric(ratio, "maxGossipPeak/D")
+}
+
+func BenchmarkE6Profile(b *testing.B) {
+	opt := experiments.DefaultE6(AllProtocols())
+	var local float64
+	for i := 0; i < b.N; i++ {
+		profiles, _, err := experiments.E6Profiles(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range profiles {
+			if p.Protocol == "gradient" {
+				local = p.Local.Float64()
+			}
+		}
+	}
+	b.ReportMetric(local, "gradientLocalSkew")
+}
+
+func BenchmarkE7TDMA(b *testing.B) {
+	opt := experiments.DefaultE7(AllProtocols())
+	opt.Diameters = []int{8, 16}
+	var advPeak float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E7TDMA(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Protocol == "max-gossip" && r.D == 16 {
+				advPeak = r.AdvPeak.Float64()
+			}
+		}
+	}
+	b.ReportMetric(advPeak, "advSkew@D=16")
+}
+
+func BenchmarkE8Applications(b *testing.B) {
+	opt := experiments.DefaultE8(AllProtocols())
+	var sibling float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E8Applications(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Protocol == "gradient" {
+				sibling = r.SiblingSkew.Float64()
+			}
+		}
+	}
+	b.ReportMetric(sibling, "gradientSiblingSkew")
+}
+
+func BenchmarkE9Ablations(b *testing.B) {
+	opt := experiments.DefaultE9()
+	opt.Thresholds = opt.Thresholds[:2]
+	opt.FastMults = opt.FastMults[:1]
+	opt.JumpCaps = opt.JumpCaps[:2]
+	var advPeak float64
+	for i := 0; i < b.N; i++ {
+		_, capRows, _, _, err := experiments.E9Ablations(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		advPeak = capRows[len(capRows)-1].AdvPeak.Float64()
+	}
+	b.ReportMetric(advPeak, "advPeak@cap=1")
+}
+
+func BenchmarkE10Topologies(b *testing.B) {
+	opt := experiments.DefaultE10(AllProtocols()[:2])
+	var global float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.E10Topologies(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		global = rows[len(rows)-1].Global.Float64()
+	}
+	b.ReportMetric(global, "globalSkew")
+}
+
+// BenchmarkSimThroughput measures raw simulator speed: events per second on
+// a gossiping line — the substrate cost underlying every experiment.
+func BenchmarkSimThroughput(b *testing.B) {
+	net, err := Line(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Net:       net,
+		Schedules: ConstantSchedules(17, R(1)),
+		Adversary: Midpoint(),
+		Protocol:  MaxGossip(R(1)),
+		Duration:  R(64),
+		Rho:       Frac(1, 2),
+	}
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		exec, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = len(exec.Actions)
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkGradientAblation sweeps the gradient protocol's threshold — the
+// design choice DESIGN.md §5 flags — and reports the local skew each value
+// yields on the standard drifting line.
+func BenchmarkGradientAblation(b *testing.B) {
+	for _, th := range []int64{1, 2, 4} {
+		th := th
+		b.Run("threshold="+string(rune('0'+th)), func(b *testing.B) {
+			params := DefaultGradientParams()
+			params.Threshold = R(th)
+			net, err := Line(17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scheds, err := DiverseSchedules(17, R(1), Frac(5, 4), 4, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Config{
+				Net:       net,
+				Schedules: scheds,
+				Adversary: HashAdversary{Seed: 7, Denom: 8},
+				Protocol:  Gradient(params),
+				Duration:  R(64),
+				Rho:       Frac(1, 2),
+			}
+			var local float64
+			for i := 0; i < b.N; i++ {
+				exec, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				local = LocalSkew(exec).Skew.Float64()
+			}
+			b.ReportMetric(local, "localSkew")
+		})
+	}
+}

@@ -1,0 +1,150 @@
+// Command gcsbench regenerates every experiment table of the reproduction
+// (E1–E11 plus the Figure 1 rendering). See DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	gcsbench            # the standard suite (seconds)
+//	gcsbench -long      # extended sweeps (minutes; larger diameters)
+//	gcsbench -only E4   # one experiment (E1..E11)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gcs/internal/algorithms"
+	"gcs/internal/experiments"
+)
+
+func main() {
+	long := flag.Bool("long", false, "extended sweeps (larger diameters; minutes)")
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	flag.Parse()
+	if err := run(*long, strings.ToUpper(*only)); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(long bool, only string) error {
+	protos := algorithms.All()
+	want := func(id string) bool { return only == "" || only == id }
+
+	if want("E1") {
+		opt := experiments.DefaultE1(protos)
+		if long {
+			opt.Distances = append(opt.Distances, 64, 128)
+		}
+		_, table, err := experiments.E1Shift(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E2") {
+		opt := experiments.DefaultE2(protos)
+		if long {
+			opt.Lines = append(opt.Lines, 65, 129)
+		}
+		_, table, figure, err := experiments.E2AddSkew(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+		fmt.Println("-- F1: Figure 1 (β rate schedule of the Add Skew lemma) --")
+		fmt.Println(figure)
+	}
+	if want("E3") {
+		opt := experiments.DefaultE3(protos)
+		_, table, err := experiments.E3BoundedIncrease(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E4") {
+		opt := experiments.DefaultE4(protos)
+		if long {
+			opt.RoundsList = append(opt.RoundsList, 4)
+		}
+		_, table, err := experiments.E4MainTheorem(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E5") {
+		opt := experiments.DefaultE5(protos)
+		if long {
+			opt.Dcs = append(opt.Dcs, 128)
+		}
+		_, table, err := experiments.E5Counterexample(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E6") {
+		opt := experiments.DefaultE6(protos)
+		if long {
+			opt.N = 33
+			opt.Distances = append(opt.Distances, 32)
+		}
+		_, table, err := experiments.E6Profiles(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E7") {
+		opt := experiments.DefaultE7(protos)
+		if long {
+			opt.Diameters = append(opt.Diameters, 64)
+		}
+		_, table, err := experiments.E7TDMA(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E8") {
+		opt := experiments.DefaultE8(protos)
+		_, table, err := experiments.E8Applications(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E9") {
+		opt := experiments.DefaultE9()
+		_, _, gt, ct, err := experiments.E9Ablations(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(gt.Render())
+		fmt.Println(ct.Render())
+	}
+	if want("E11") {
+		opt := experiments.DefaultE11(protos)
+		if long {
+			opt.Seeds = append(opt.Seeds, 55, 89, 144, 233)
+		}
+		_, table, err := experiments.E11Seeds(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	if want("E10") {
+		opt := experiments.DefaultE10(protos)
+		_, table, err := experiments.E10Topologies(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestSingleExperiments exercises the fast experiments end to end through
+// the CLI path. (E4 and the full suite are covered by the root benchmarks.)
+func TestSingleExperiments(t *testing.T) {
+	for _, id := range []string{"E1", "E3", "E5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if err := run(false, id); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnknownExperimentIsNoop(t *testing.T) {
+	// An unmatched -only filter runs nothing and succeeds.
+	if err := run(false, "E99"); err != nil {
+		t.Fatal(err)
+	}
+}

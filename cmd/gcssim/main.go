@@ -1,0 +1,170 @@
+// Command gcssim runs one clock-synchronization simulation and prints skew
+// metrics and (optionally) the empirical gradient profile.
+//
+// Usage:
+//
+//	gcssim -proto gradient -topology line -n 17 -dur 50 -profile
+//	gcssim -proto max-gossip -topology grid -n 16 -adversary random -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcs/internal/algorithms"
+	"gcs/internal/clock"
+	"gcs/internal/core"
+	"gcs/internal/network"
+	"gcs/internal/plot"
+	"gcs/internal/rat"
+	"gcs/internal/sim"
+)
+
+func main() {
+	var (
+		protoName = flag.String("proto", "gradient", "null | max-gossip | max-flood | bounded-max | gradient | llw | root-sync | rbs")
+		topology  = flag.String("topology", "line", "line | ring | grid | star | complete | rgg")
+		n         = flag.Int("n", 9, "node count (grid uses the nearest square)")
+		durStr    = flag.String("dur", "50", "duration (rational, e.g. 50 or 101/2)")
+		rhoStr    = flag.String("rho", "1/2", "drift bound ρ")
+		advName   = flag.String("adversary", "midpoint", "midpoint | zero | max | random")
+		seed      = flag.Uint64("seed", 1, "seed for the random adversary")
+		fastEnd   = flag.Bool("fastend", true, "run node 0 at 1+ρ/2 for drift pressure")
+		profile   = flag.Bool("profile", false, "print the empirical gradient profile f̂(d)")
+		chart     = flag.Bool("chart", false, "plot worst-pair and worst-adjacent skew over time")
+	)
+	flag.Parse()
+	if err := run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd, *profile, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "gcssim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed uint64, fastEnd, profile, chart bool) error {
+	dur, err := rat.Parse(durStr)
+	if err != nil {
+		return fmt.Errorf("duration: %w", err)
+	}
+	rho, err := rat.Parse(rhoStr)
+	if err != nil {
+		return fmt.Errorf("rho: %w", err)
+	}
+
+	var net *network.Network
+	switch topology {
+	case "line":
+		net, err = network.Line(n)
+	case "ring":
+		net, err = network.Ring(n)
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		net, err = network.Grid2D(side, side)
+	case "star":
+		net, err = network.Star(n, rat.FromInt(1))
+	case "complete":
+		net, err = network.Complete(n, rat.FromInt(1))
+	case "rgg":
+		net, err = network.RandomGeometric(n, 10, 4.5, int64(seed))
+	default:
+		return fmt.Errorf("unknown topology %q", topology)
+	}
+	if err != nil {
+		return err
+	}
+	n = net.N()
+
+	var proto sim.Protocol
+	switch protoName {
+	case "null":
+		proto = algorithms.Null()
+	case "max-gossip":
+		proto = algorithms.MaxGossip(rat.FromInt(1))
+	case "max-flood":
+		proto = algorithms.MaxFlood(rat.FromInt(1))
+	case "bounded-max":
+		proto = algorithms.BoundedMax(rat.FromInt(1), rat.FromInt(1))
+	case "gradient":
+		proto = algorithms.Gradient(algorithms.DefaultGradientParams())
+	case "llw":
+		proto = algorithms.LLW(algorithms.DefaultLLWParams())
+	case "root-sync":
+		proto = algorithms.RootSync(rat.FromInt(1), 0)
+	case "rbs":
+		proto = algorithms.RBS(rat.FromInt(2), 0)
+	default:
+		return fmt.Errorf("unknown protocol %q", protoName)
+	}
+
+	var adv sim.Adversary
+	switch advName {
+	case "midpoint":
+		adv = sim.Midpoint()
+	case "zero":
+		adv = sim.FractionAdversary{Frac: rat.Rat{}}
+	case "max":
+		adv = sim.FractionAdversary{Frac: rat.FromInt(1)}
+	case "random":
+		adv = sim.HashAdversary{Seed: seed, Denom: 8}
+	default:
+		return fmt.Errorf("unknown adversary %q", advName)
+	}
+
+	scheds := make([]*clock.Schedule, n)
+	for i := range scheds {
+		scheds[i] = clock.Constant(rat.FromInt(1))
+	}
+	if fastEnd {
+		scheds[0] = clock.Constant(rat.FromInt(1).Add(rho.Div(rat.FromInt(2))))
+	}
+
+	exec, err := sim.Run(sim.Config{
+		Net:       net,
+		Schedules: scheds,
+		Adversary: adv,
+		Protocol:  proto,
+		Duration:  dur,
+		Rho:       rho,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s (%d nodes, diameter %s), duration %s, ρ=%s, adversary %s\n",
+		protoName, net.Name(), n, net.Diameter(), dur, rho, advName)
+	fmt.Printf("  events: %d   messages: %d\n", len(exec.Actions), len(exec.Ledger))
+	if err := core.CheckValidity(exec); err != nil {
+		fmt.Printf("  VALIDITY VIOLATED: %v\n", err)
+	} else {
+		fmt.Printf("  validity (Requirement 1): ok\n")
+	}
+	g := core.GlobalSkew(exec)
+	l := core.LocalSkew(exec)
+	fmt.Printf("  global skew: %s (pair %d,%d at t=%s)\n", g.Skew, g.I, g.J, g.At)
+	fmt.Printf("  local  skew: %s (pair %d,%d at t=%s)\n", l.Skew, l.I, l.J, l.At)
+	if profile {
+		fmt.Println("  empirical gradient profile f̂(d):")
+		var labels []string
+		var values []float64
+		for _, pt := range core.SkewProfile(exec) {
+			fmt.Printf("    d=%-6s pairs=%-4d max skew=%s\n", pt.Dist, pt.Pairs, pt.MaxSkew)
+			labels = append(labels, "d="+pt.Dist.String())
+			values = append(values, pt.MaxSkew.Float64())
+		}
+		fmt.Println()
+		fmt.Print(plot.Bars("  f̂(d) profile", labels, values, 40))
+	}
+	if chart {
+		fmt.Println()
+		fmt.Print(plot.Chart(
+			fmt.Sprintf("skew over time: worst pair (%d,%d) and worst adjacent pair (%d,%d)", g.I, g.J, l.I, l.J),
+			12,
+			plot.TimeSeries(exec, g.I, g.J, 64),
+			plot.TimeSeries(exec, l.I, l.J, 64),
+		))
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunHappyPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		proto    string
+		topology string
+		n        int
+		adv      string
+	}{
+		{"gradient line", "gradient", "line", 7, "midpoint"},
+		{"llw? no: max-gossip ring", "max-gossip", "ring", 6, "random"},
+		{"max-flood grid", "max-flood", "grid", 9, "zero"},
+		{"rbs star", "rbs", "star", 6, "random"},
+		{"null complete", "null", "complete", 4, "max"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.proto, tc.topology, tc.n, "12", "1/2", tc.adv, 3, true, true, true); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name                               string
+		proto, topology, dur, rho, advName string
+		n                                  int
+	}{
+		{"bad proto", "nope", "line", "10", "1/2", "midpoint", 5},
+		{"bad topology", "null", "torus", "10", "1/2", "midpoint", 5},
+		{"bad duration", "null", "line", "x", "1/2", "midpoint", 5},
+		{"bad rho", "null", "line", "10", "x", "midpoint", 5},
+		{"bad adversary", "null", "line", "10", "1/2", "chaos", 5},
+		{"rho too big", "null", "line", "10", "2", "midpoint", 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.proto, tc.topology, tc.n, tc.dur, tc.rho, tc.advName, 1, false, false, false); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

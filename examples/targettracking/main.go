@@ -1,0 +1,66 @@
+// Target tracking (§1 of the paper): two sensors timestamp an object
+// crossing and estimate its speed as v = d/Δt. Clock skew corrupts Δt; the
+// farther apart the sensors, the larger Δt and the more skew is tolerable
+// for the same relative error — so the acceptable skew forms a gradient in
+// distance.
+//
+//	go run ./examples/targettracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 17
+	net, err := gcs.Line(n)
+	if err != nil {
+		return err
+	}
+	rho := gcs.Frac(1, 2)
+	scheds := gcs.ConstantSchedules(n, gcs.R(1))
+	scheds[0] = gcs.ConstantClock(gcs.R(1).Add(rho.Div(gcs.R(2))))
+
+	for _, proto := range []gcs.Protocol{
+		gcs.MaxGossip(gcs.R(1)),
+		gcs.Gradient(gcs.DefaultGradientParams()),
+	} {
+		exec, err := gcs.Run(gcs.Config{
+			Net:       net,
+			Schedules: scheds,
+			Adversary: gcs.HashAdversary{Seed: 13, Denom: 8},
+			Protocol:  proto,
+			Duration:  gcs.R(80),
+			Rho:       rho,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", proto.Name())
+		for _, d := range []int{1, 2, 4, 8, 16} {
+			rep, err := gcs.Tracking(exec, gcs.TrackingConfig{
+				I:       0,
+				J:       d,
+				CrossAt: gcs.R(40),
+				Speed:   gcs.Frac(1, 2),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  sensors (0,%2d)  true Δt=%-5s measured Δt=%-8s est speed=%-8s err=%.1f%%\n",
+				d, rep.TrueDT, rep.MeasuredDT, rep.EstSpeed, rep.ErrPct)
+		}
+	}
+	fmt.Println("\nFor a fixed skew budget the velocity error shrinks with distance;")
+	fmt.Println("equivalently, nearby sensors need the tightest synchronization.")
+	return nil
+}

@@ -1,0 +1,289 @@
+// Package gcs is a reproduction of Fan & Lynch, "Gradient Clock
+// Synchronization" (PODC 2004): a deterministic discrete-event simulator for
+// networks of drifting hardware clocks, a portfolio of clock synchronization
+// algorithms, exact checkers for the paper's validity and gradient
+// requirements, and executable versions of every lower-bound construction in
+// the paper (the Ω(d) shift argument, the Add Skew lemma, the Bounded
+// Increase lemma, the Ω(log D / log log D) main theorem, and the §2
+// counterexample against max-based algorithms).
+//
+// # Model
+//
+// Following §3 of the paper, nodes are timed automata that observe only
+// their hardware clocks and received messages. Hardware clock rates are
+// adversary-chosen within [1−ρ, 1+ρ]; a message from i to j takes between 0
+// and d(i,j) time ("distance" = delay uncertainty), with the adversary
+// choosing the exact delay. Logical clocks must satisfy validity
+// (L(t+r) − L(t) ≥ r/2) and, for an f-gradient algorithm,
+// |L_i(t) − L_j(t)| ≤ f(d(i,j)) at all times.
+//
+// All simulated time is exact rational arithmetic: the lower-bound
+// constructions rely on exact indistinguishability between executions, which
+// floating point cannot provide.
+//
+// # Quickstart
+//
+//	net, _ := gcs.Line(9)
+//	scheds := gcs.ConstantSchedules(9, gcs.R(1))
+//	exec, err := gcs.Run(gcs.Config{
+//	    Net:       net,
+//	    Schedules: scheds,
+//	    Adversary: gcs.Midpoint(),
+//	    Protocol:  gcs.Gradient(gcs.DefaultGradientParams()),
+//	    Duration:  gcs.R(50),
+//	    Rho:       gcs.Frac(1, 2),
+//	})
+//	...
+//	fmt.Println(gcs.GlobalSkew(exec).Skew)
+//
+// See the examples/ directory for runnable scenarios and cmd/gcsbench for
+// the experiment harness that regenerates every figure-level result.
+package gcs
+
+import (
+	"gcs/internal/algorithms"
+	"gcs/internal/clock"
+	"gcs/internal/core"
+	"gcs/internal/lowerbound"
+	"gcs/internal/network"
+	"gcs/internal/plot"
+	"gcs/internal/rat"
+	"gcs/internal/sim"
+	"gcs/internal/trace"
+	"gcs/internal/workload"
+)
+
+// Exact rational time.
+type (
+	// Rat is an exact rational number; all simulated time uses it.
+	Rat = rat.Rat
+)
+
+// R returns the rational n/1.
+func R(n int64) Rat { return rat.FromInt(n) }
+
+// Frac returns the rational n/d (panics on d == 0; use for constants).
+func Frac(n, d int64) Rat { return rat.MustFrac(n, d) }
+
+// ParseRat parses "n", "n/d", or decimal notation.
+func ParseRat(s string) (Rat, error) { return rat.Parse(s) }
+
+// Topologies.
+type (
+	// Network is a set of nodes with pairwise delay-uncertainty distances
+	// and a gossip adjacency.
+	Network = network.Network
+)
+
+// Topology constructors (see internal/network for details).
+var (
+	Line            = network.Line
+	TwoNode         = network.TwoNode
+	Complete        = network.Complete
+	Ring            = network.Ring
+	Grid2D          = network.Grid2D
+	Star            = network.Star
+	RandomGeometric = network.RandomGeometric
+	NewNetwork      = network.New
+)
+
+// Hardware clocks.
+type (
+	// Schedule is an immutable hardware-clock rate schedule.
+	Schedule = clock.Schedule
+	// RateSeg is one piecewise-constant rate segment.
+	RateSeg = clock.RateSeg
+)
+
+// Clock constructors.
+var (
+	ConstantClock    = clock.Constant
+	ClockFromRates   = clock.FromRates
+	DiverseSchedules = clock.Diverse
+)
+
+// ConstantSchedules returns n identical constant-rate schedules.
+func ConstantSchedules(n int, rate Rat) []*Schedule {
+	out := make([]*Schedule, n)
+	for i := range out {
+		out[i] = clock.Constant(rate)
+	}
+	return out
+}
+
+// Simulation.
+type (
+	// Config fully describes a run.
+	Config = sim.Config
+	// Protocol instantiates per-node automata.
+	Protocol = sim.Protocol
+	// Node is one timed automaton.
+	Node = sim.Node
+	// Runtime is a node's interface to the simulated world.
+	Runtime = sim.Runtime
+	// Message is a payload with a canonical string form.
+	Message = sim.Message
+	// Adversary chooses message delays.
+	Adversary = sim.Adversary
+	// FractionAdversary delays every message by a fixed fraction of the
+	// bound.
+	FractionAdversary = sim.FractionAdversary
+	// ScriptedAdversary replays exact per-message delays.
+	ScriptedAdversary = sim.ScriptedAdversary
+	// FuncAdversary adapts a function.
+	FuncAdversary = sim.FuncAdversary
+	// HashAdversary draws reproducible pseudo-random delays.
+	HashAdversary = sim.HashAdversary
+	// Execution is a completed, recorded run.
+	Execution = trace.Execution
+	// Action is one observable step at one node.
+	Action = trace.Action
+	// MsgKey identifies a message by (from, to, per-pair sequence).
+	MsgKey = trace.MsgKey
+	// MsgRecord is a message-ledger entry.
+	MsgRecord = trace.MsgRecord
+	// ActionKind classifies node actions in a trace.
+	ActionKind = trace.Kind
+)
+
+// Action kinds.
+const (
+	KindInit  = trace.KindInit
+	KindRecv  = trace.KindRecv
+	KindTimer = trace.KindTimer
+	KindSend  = trace.KindSend
+)
+
+// Run executes a configuration and returns its trace.
+func Run(cfg Config) (*Execution, error) { return sim.Run(cfg) }
+
+// Midpoint returns the delay = d/2 adversary used by the constructions.
+func Midpoint() FractionAdversary { return sim.Midpoint() }
+
+// Indistinguishability and side-condition checkers (§3 of the paper).
+var (
+	CheckIndistinguishable = trace.CheckIndistinguishable
+	CheckDelayBounds       = trace.CheckDelayBounds
+	CheckRateBounds        = trace.CheckRateBounds
+	PrefixEqual            = trace.PrefixEqual
+)
+
+// Algorithms.
+type (
+	// GradientParams configures the rate-based gradient protocol.
+	GradientParams = algorithms.GradientParams
+	// LLWParams configures the blocking gradient protocol.
+	LLWParams = algorithms.LLWParams
+	// ValueMsg carries a logical clock value.
+	ValueMsg = algorithms.ValueMsg
+	// PulseMsg is an RBS beacon pulse.
+	PulseMsg = algorithms.PulseMsg
+)
+
+// Algorithm constructors.
+var (
+	Null                  = algorithms.Null
+	MaxGossip             = algorithms.MaxGossip
+	MaxFlood              = algorithms.MaxFlood
+	BoundedMax            = algorithms.BoundedMax
+	Gradient              = algorithms.Gradient
+	LLW                   = algorithms.LLW
+	DefaultLLWParams      = algorithms.DefaultLLWParams
+	RootSync              = algorithms.RootSync
+	RBS                   = algorithms.RBS
+	DefaultGradientParams = algorithms.DefaultGradientParams
+	AllProtocols          = algorithms.All
+)
+
+// GCS problem checkers (§4 of the paper).
+type (
+	// GradientFunc is a candidate bound f: distance → allowed skew.
+	GradientFunc = core.GradientFunc
+	// PairSkew is the observed worst skew for one pair.
+	PairSkew = core.PairSkew
+	// GradientReport summarizes an f-gradient check.
+	GradientReport = core.GradientReport
+	// ProfilePoint is one point of the empirical gradient profile f̂(d).
+	ProfilePoint = core.ProfilePoint
+)
+
+// Checkers and metrics.
+var (
+	CheckValidity      = core.CheckValidity
+	CheckGradient      = core.CheckGradient
+	LinearGradient     = core.LinearGradient
+	GlobalSkew         = core.GlobalSkew
+	LocalSkew          = core.LocalSkew
+	SkewProfile        = core.SkewProfile
+	MaxIncreasePerUnit = core.MaxIncreasePerUnit
+)
+
+// Lower-bound constructions (§5–§8 of the paper).
+type (
+	// LowerBoundParams carries ρ and the derived constants τ, γ.
+	LowerBoundParams = lowerbound.Params
+	// ShiftResult certifies the Ω(d) two-node bound.
+	ShiftResult = lowerbound.ShiftResult
+	// AddSkewInput / AddSkewResult are Lemma 6.1.
+	AddSkewInput  = lowerbound.AddSkewInput
+	AddSkewResult = lowerbound.AddSkewResult
+	// BoundedIncreaseInput / BoundedIncreaseResult are Lemma 7.1.
+	BoundedIncreaseInput  = lowerbound.BoundedIncreaseInput
+	BoundedIncreaseResult = lowerbound.BoundedIncreaseResult
+	// MainTheoremInput / MainTheoremResult are Theorem 8.1.
+	MainTheoremInput  = lowerbound.MainTheoremInput
+	MainTheoremResult = lowerbound.MainTheoremResult
+	// TheoremRound is one round's certificate.
+	TheoremRound = lowerbound.Round
+	// CounterexampleInput / CounterexampleResult are the §2 scenario.
+	CounterexampleInput  = lowerbound.CounterexampleInput
+	CounterexampleResult = lowerbound.CounterexampleResult
+)
+
+// Construction drivers.
+var (
+	DefaultLowerBoundParams = lowerbound.DefaultParams
+	Shift                   = lowerbound.Shift
+	AddSkew                 = lowerbound.AddSkew
+	BoundedIncrease         = lowerbound.BoundedIncrease
+	MainTheorem             = lowerbound.MainTheorem
+	Counterexample          = lowerbound.Counterexample
+	RenderFigure1           = lowerbound.RenderFigure1
+	RenderRounds            = lowerbound.RenderRounds
+)
+
+// Application workloads (§1 of the paper).
+type (
+	// TrackingConfig / TrackingReport: target-tracking velocity estimation.
+	TrackingConfig = workload.TrackingConfig
+	TrackingReport = workload.TrackingReport
+	// TDMAConfig / TDMAReport: slotted transmission collisions.
+	TDMAConfig = workload.TDMAConfig
+	TDMAReport = workload.TDMAReport
+	// FusionReport: data-fusion sibling consistency.
+	FusionReport = workload.FusionReport
+	// SiblingSkew is the worst skew among one parent's children.
+	SiblingSkew = workload.SiblingSkew
+)
+
+// Workload drivers.
+var (
+	BinaryFusionTree  = workload.BinaryFusionTree
+	FusionConsistency = workload.FusionConsistency
+	Tracking          = workload.Tracking
+	TDMA              = workload.TDMA
+	TDMAFeasible      = workload.TDMAFeasible
+)
+
+// Terminal plotting.
+type (
+	// PlotSeries is one named curve for Chart.
+	PlotSeries = plot.Series
+)
+
+// Plot helpers (ASCII charts of exact simulation data).
+var (
+	SkewTimeSeries = plot.TimeSeries
+	Chart          = plot.Chart
+	Bars           = plot.Bars
+)

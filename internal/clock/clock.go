@@ -1,0 +1,234 @@
+// Package clock models drifting hardware clocks as rate schedules.
+//
+// Following §3 of Fan & Lynch (PODC 2004), a hardware clock is defined by its
+// rate of change: node i's clock rate at real time t is h_i(t), and its
+// hardware clock value is H_i(t) = ∫₀ᵗ h_i(r) dr. The adversary in the
+// lower-bound constructions chooses piecewise-constant rate functions, so
+// H_i is a continuous, strictly increasing piecewise-linear function, which
+// this package represents exactly.
+//
+// A Schedule is immutable once constructed; the surgery methods used by the
+// constructions (WithRateFrom, ModifyWindow) return modified copies.
+package clock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gcs/internal/piecewise"
+	"gcs/internal/rat"
+)
+
+// RateSeg gives the clock rate from At until the next segment (the final
+// segment extends to +∞). Rates must be strictly positive.
+type RateSeg struct {
+	At   rat.Rat
+	Rate rat.Rat
+}
+
+// Schedule is an immutable hardware-clock rate schedule starting at real
+// time 0 with H(0) = 0.
+type Schedule struct {
+	rates []RateSeg
+	hw    *piecewise.PLF // compiled H(t)
+}
+
+// Constant returns a schedule with fixed rate for all time.
+func Constant(rate rat.Rat) *Schedule {
+	s, err := FromRates([]RateSeg{{At: rat.Rat{}, Rate: rate}})
+	if err != nil {
+		// A single positive-rate segment at 0 cannot fail unless rate <= 0;
+		// surface that as a panic because it is a programming error in the
+		// caller's constants.
+		panic(err)
+	}
+	return s
+}
+
+// FromRates builds a schedule from rate segments. The first segment must
+// start at 0, starts must be strictly increasing, and rates strictly
+// positive (a clock that stops cannot be inverted).
+func FromRates(segs []RateSeg) (*Schedule, error) {
+	if len(segs) == 0 {
+		return nil, errors.New("clock: no rate segments")
+	}
+	if !segs[0].At.IsZero() {
+		return nil, fmt.Errorf("clock: first segment starts at %s, want 0", segs[0].At)
+	}
+	rates := make([]RateSeg, len(segs))
+	copy(rates, segs)
+	hw := piecewise.New(rat.Rat{}, rat.Rat{}, rates[0].Rate)
+	for i := 1; i < len(rates); i++ {
+		if !rates[i-1].At.Less(rates[i].At) {
+			return nil, fmt.Errorf("clock: segment %d start %s not after %s", i, rates[i].At, rates[i-1].At)
+		}
+		if err := hw.AppendSlope(rates[i].At, rates[i].Rate); err != nil {
+			return nil, err
+		}
+	}
+	for i, s := range rates {
+		if s.Rate.Sign() <= 0 {
+			return nil, fmt.Errorf("clock: segment %d rate %s not positive", i, s.Rate)
+		}
+	}
+	return &Schedule{rates: rates, hw: hw}, nil
+}
+
+// Rates returns a copy of the rate segments.
+func (s *Schedule) Rates() []RateSeg {
+	out := make([]RateSeg, len(s.rates))
+	copy(out, s.rates)
+	return out
+}
+
+// HW returns H(t), the hardware clock reading at real time t >= 0.
+func (s *Schedule) HW(t rat.Rat) rat.Rat { return s.hw.Eval(t) }
+
+// RealAt returns the real time at which the hardware clock reads h >= 0.
+func (s *Schedule) RealAt(h rat.Rat) (rat.Rat, error) {
+	t, err := s.hw.InvertAt(h)
+	if err != nil {
+		return rat.Rat{}, fmt.Errorf("clock: invert %s: %w", h, err)
+	}
+	return t, nil
+}
+
+// RateAt returns h(t), the rate in effect at real time t (right-continuous
+// at segment boundaries).
+func (s *Schedule) RateAt(t rat.Rat) rat.Rat {
+	r := s.rates[0].Rate
+	for _, seg := range s.rates {
+		if seg.At.Greater(t) {
+			break
+		}
+		r = seg.Rate
+	}
+	return r
+}
+
+// HWFunc exposes the compiled H(t) piecewise-linear function (a clone).
+func (s *Schedule) HWFunc() *piecewise.PLF { return s.hw.Clone() }
+
+// MinRate returns the minimum rate in effect anywhere in [from, to].
+func (s *Schedule) MinRate(from, to rat.Rat) rat.Rat { return s.hw.MinSlope(from, to) }
+
+// MaxRate returns the maximum rate in effect anywhere in [from, to].
+func (s *Schedule) MaxRate(from, to rat.Rat) rat.Rat { return s.hw.MaxSlope(from, to) }
+
+// ValidateDrift checks Assumption 1 of the paper: every rate lies in
+// [1−ρ, 1+ρ].
+func (s *Schedule) ValidateDrift(rho rat.Rat) error {
+	lo := rat.FromInt(1).Sub(rho)
+	hi := rat.FromInt(1).Add(rho)
+	for i, seg := range s.rates {
+		if seg.Rate.Less(lo) || seg.Rate.Greater(hi) {
+			return fmt.Errorf("clock: segment %d rate %s outside drift bounds [%s, %s]", i, seg.Rate, lo, hi)
+		}
+	}
+	return nil
+}
+
+// ValidateRange checks every rate in effect during [from, to] lies in
+// [lo, hi].
+func (s *Schedule) ValidateRange(from, to, lo, hi rat.Rat) error {
+	if mn := s.MinRate(from, to); mn.Less(lo) {
+		return fmt.Errorf("clock: rate %s below %s in [%s, %s]", mn, lo, from, to)
+	}
+	if mx := s.MaxRate(from, to); mx.Greater(hi) {
+		return fmt.Errorf("clock: rate %s above %s in [%s, %s]", mx, hi, from, to)
+	}
+	return nil
+}
+
+// WithRateFrom returns a copy whose rate is `rate` on [at, +∞) and unchanged
+// before at. This is the Add Skew lemma's surgery: node k keeps its α rates
+// up to T_k and runs at γ afterwards.
+func (s *Schedule) WithRateFrom(at, rate rat.Rat) (*Schedule, error) {
+	if at.Sign() < 0 {
+		return nil, fmt.Errorf("clock: WithRateFrom at negative time %s", at)
+	}
+	var segs []RateSeg
+	for _, seg := range s.rates {
+		if seg.At.Less(at) {
+			segs = append(segs, seg)
+		}
+	}
+	segs = append(segs, RateSeg{At: at, Rate: rate})
+	return FromRates(segs)
+}
+
+// Diverse returns n constant-rate schedules with rates spread
+// deterministically (by an FNV hash of seed and node index) across
+// [lo, hi], quantized to `steps` levels. It gives every node a different
+// drift without randomness entering the simulation itself.
+func Diverse(n int, lo, hi rat.Rat, steps int64, seed uint64) ([]*Schedule, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("clock: steps %d < 1", steps)
+	}
+	if hi.Less(lo) || lo.Sign() <= 0 {
+		return nil, fmt.Errorf("clock: bad rate range [%s, %s]", lo, hi)
+	}
+	span := hi.Sub(lo)
+	out := make([]*Schedule, n)
+	for i := 0; i < n; i++ {
+		h := fnv1a(seed, uint64(i))
+		level := int64(h % uint64(steps+1))
+		rate := lo.Add(span.Mul(rat.MustFrac(level, steps)))
+		out[i] = Constant(rate)
+	}
+	return out, nil
+}
+
+// fnv1a hashes two 64-bit values.
+func fnv1a(a, b uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range [2]uint64{a, b} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// ModifyWindow returns a copy whose rates within [from, to) are transformed
+// by fn, with the original rates restored at to. This implements the Bounded
+// Increase lemma's surgery (adding ρ/4 to node i's rate during [t0−τ, t0]).
+func (s *Schedule) ModifyWindow(from, to rat.Rat, fn func(rat.Rat) rat.Rat) (*Schedule, error) {
+	if from.Sign() < 0 {
+		return nil, fmt.Errorf("clock: ModifyWindow from negative time %s", from)
+	}
+	if !from.Less(to) {
+		return nil, fmt.Errorf("clock: ModifyWindow empty window [%s, %s)", from, to)
+	}
+	// Candidate boundaries: every existing segment start plus the window
+	// endpoints. At each boundary the new rate is fully determined, and
+	// coalescing adjacent equal rates keeps the schedule minimal.
+	bounds := make([]rat.Rat, 0, len(s.rates)+2)
+	for _, seg := range s.rates {
+		bounds = append(bounds, seg.At)
+	}
+	bounds = append(bounds, from, to)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].Less(bounds[j]) })
+
+	var segs []RateSeg
+	for _, at := range bounds {
+		if n := len(segs); n > 0 && segs[n-1].At.Equal(at) {
+			continue // dedupe
+		}
+		r := s.RateAt(at)
+		if at.GreaterEq(from) && at.Less(to) {
+			r = fn(r)
+		}
+		if n := len(segs); n > 0 && segs[n-1].Rate.Equal(r) {
+			continue // coalesce
+		}
+		segs = append(segs, RateSeg{At: at, Rate: r})
+	}
+	return FromRates(segs)
+}

@@ -1,0 +1,277 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gcs/internal/rat"
+)
+
+func ri(n int64) rat.Rat    { return rat.FromInt(n) }
+func rf(n, d int64) rat.Rat { return rat.MustFrac(n, d) }
+
+func mustRates(t *testing.T, segs []RateSeg) *Schedule {
+	t.Helper()
+	s, err := FromRates(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConstant(t *testing.T) {
+	s := Constant(ri(1))
+	if got := s.HW(ri(10)); !got.Equal(ri(10)) {
+		t.Errorf("HW(10) = %s, want 10", got)
+	}
+	real, err := s.RealAt(ri(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !real.Equal(ri(7)) {
+		t.Errorf("RealAt(7) = %s, want 7", real)
+	}
+}
+
+func TestFromRatesValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		segs []RateSeg
+	}{
+		{"empty", nil},
+		{"nonzero start", []RateSeg{{At: ri(1), Rate: ri(1)}}},
+		{"non-increasing", []RateSeg{{At: ri(0), Rate: ri(1)}, {At: ri(0), Rate: ri(2)}}},
+		{"zero rate", []RateSeg{{At: ri(0), Rate: ri(0)}}},
+		{"negative rate", []RateSeg{{At: ri(0), Rate: ri(-1)}}},
+	}
+	for _, tt := range tests {
+		if _, err := FromRates(tt.segs); err == nil {
+			t.Errorf("%s: want error", tt.name)
+		}
+	}
+}
+
+func TestHWIntegration(t *testing.T) {
+	// Rate 1 on [0,10), 2 on [10,20), 1/2 afterwards.
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(10), Rate: ri(2)},
+		{At: ri(20), Rate: rf(1, 2)},
+	})
+	tests := []struct{ t, want rat.Rat }{
+		{ri(0), ri(0)},
+		{ri(5), ri(5)},
+		{ri(10), ri(10)},
+		{ri(15), ri(20)},
+		{ri(20), ri(30)},
+		{ri(24), ri(32)},
+	}
+	for _, tt := range tests {
+		if got := s.HW(tt.t); !got.Equal(tt.want) {
+			t.Errorf("HW(%s) = %s, want %s", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestRealAtRoundTrip(t *testing.T) {
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: rf(10, 9)}, // γ for ρ = 1/2
+		{At: ri(7), Rate: ri(1)},
+		{At: ri(13), Rate: rf(5, 4)},
+	})
+	for i := int64(0); i <= 60; i++ {
+		h := rf(i, 3)
+		real, err := s.RealAt(h)
+		if err != nil {
+			t.Fatalf("RealAt(%s): %v", h, err)
+		}
+		if got := s.HW(real); !got.Equal(h) {
+			t.Errorf("HW(RealAt(%s)) = %s", h, got)
+		}
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(10), Rate: ri(2)},
+	})
+	if got := s.RateAt(ri(5)); !got.Equal(ri(1)) {
+		t.Errorf("RateAt(5) = %s", got)
+	}
+	if got := s.RateAt(ri(10)); !got.Equal(ri(2)) {
+		t.Errorf("RateAt(10) = %s (right-continuous)", got)
+	}
+	if got := s.RateAt(ri(99)); !got.Equal(ri(2)) {
+		t.Errorf("RateAt(99) = %s", got)
+	}
+}
+
+func TestValidateDrift(t *testing.T) {
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(5), Rate: rf(10, 9)},
+	})
+	if err := s.ValidateDrift(rf(1, 2)); err != nil {
+		t.Errorf("rates within [1/2, 3/2] should validate: %v", err)
+	}
+	if err := s.ValidateDrift(rf(1, 10)); err == nil {
+		t.Error("10/9 > 1+1/10 should fail validation")
+	}
+}
+
+func TestValidateRange(t *testing.T) {
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(2)},
+		{At: ri(5), Rate: ri(1)},
+	})
+	if err := s.ValidateRange(ri(6), ri(10), ri(1), ri(1)); err != nil {
+		t.Errorf("window rate exactly 1 should validate: %v", err)
+	}
+	if err := s.ValidateRange(ri(0), ri(10), ri(1), ri(1)); err == nil {
+		t.Error("window containing rate 2 should fail")
+	}
+}
+
+func TestWithRateFrom(t *testing.T) {
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(10), Rate: ri(2)},
+	})
+	gamma := rf(10, 9)
+	mod, err := s.WithRateFrom(ri(5), gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mod.RateAt(ri(4)); !got.Equal(ri(1)) {
+		t.Errorf("rate before surgery changed: %s", got)
+	}
+	if got := mod.RateAt(ri(5)); !got.Equal(gamma) {
+		t.Errorf("rate at surgery = %s, want γ", got)
+	}
+	if got := mod.RateAt(ri(50)); !got.Equal(gamma) {
+		t.Errorf("rate after surgery = %s, want γ (old segments dropped)", got)
+	}
+	// HW agrees before the surgery point.
+	if got, want := mod.HW(ri(5)), s.HW(ri(5)); !got.Equal(want) {
+		t.Errorf("HW(5) = %s, want %s", got, want)
+	}
+	// Original untouched.
+	if got := s.RateAt(ri(5)); !got.Equal(ri(1)) {
+		t.Error("original schedule mutated")
+	}
+}
+
+func TestWithRateFromAtZero(t *testing.T) {
+	s := Constant(ri(1))
+	mod, err := s.WithRateFrom(ri(0), ri(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mod.HW(ri(3)); !got.Equal(ri(6)) {
+		t.Errorf("HW(3) = %s, want 6", got)
+	}
+}
+
+func TestModifyWindow(t *testing.T) {
+	// Paper's Bounded Increase surgery: add ρ/4 to rates in a window.
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(10), Rate: rf(9, 8)},
+	})
+	delta := rf(1, 8) // ρ/4 for ρ = 1/2
+	mod, err := s.ModifyWindow(ri(6), ri(12), func(r rat.Rat) rat.Rat { return r.Add(delta) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want rat.Rat }{
+		{ri(0), ri(1)},
+		{ri(5), ri(1)},
+		{ri(6), rf(9, 8)},   // 1 + 1/8
+		{ri(10), rf(10, 8)}, // 9/8 + 1/8
+		{ri(11), rf(10, 8)},
+		{ri(12), rf(9, 8)}, // restored
+		{ri(20), rf(9, 8)},
+	}
+	for _, tt := range cases {
+		if got := mod.RateAt(tt.t); !got.Equal(tt.want) {
+			t.Errorf("RateAt(%s) = %s, want %s", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestModifyWindowErrors(t *testing.T) {
+	s := Constant(ri(1))
+	if _, err := s.ModifyWindow(ri(5), ri(5), func(r rat.Rat) rat.Rat { return r }); err == nil {
+		t.Error("empty window should error")
+	}
+	if _, err := s.ModifyWindow(ri(-1), ri(5), func(r rat.Rat) rat.Rat { return r }); err == nil {
+		t.Error("negative start should error")
+	}
+}
+
+func TestModifyWindowCoalesces(t *testing.T) {
+	s := Constant(ri(1))
+	mod, err := s.ModifyWindow(ri(2), ri(4), func(r rat.Rat) rat.Rat { return r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mod.Rates()); got != 1 {
+		t.Errorf("identity surgery should coalesce to 1 segment, got %d", got)
+	}
+}
+
+// Property: HW is strictly increasing and RealAt inverts it, for random
+// small schedules.
+func TestQuickHWInverse(t *testing.T) {
+	f := func(rates [3]uint8, probe uint8) bool {
+		segs := []RateSeg{{At: ri(0), Rate: rf(int64(rates[0]%4)+1, 2)}}
+		at := int64(0)
+		for _, r := range rates[1:] {
+			at += int64(r%6) + 1
+			segs = append(segs, RateSeg{At: ri(at), Rate: rf(int64(r%4)+1, 2)})
+		}
+		s, err := FromRates(segs)
+		if err != nil {
+			return false
+		}
+		h := rf(int64(probe), 2)
+		real, err := s.RealAt(h)
+		if err != nil {
+			return false
+		}
+		return s.HW(real).Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WithRateFrom preserves HW readings before the surgery point.
+func TestQuickWithRateFromPrefix(t *testing.T) {
+	f := func(rates [3]uint8, cutU, probeU uint8) bool {
+		segs := []RateSeg{{At: ri(0), Rate: rf(int64(rates[0]%4)+1, 2)}}
+		at := int64(0)
+		for _, r := range rates[1:] {
+			at += int64(r%6) + 1
+			segs = append(segs, RateSeg{At: ri(at), Rate: rf(int64(r%4)+1, 2)})
+		}
+		s, err := FromRates(segs)
+		if err != nil {
+			return false
+		}
+		cut := rf(int64(cutU%30), 2)
+		mod, err := s.WithRateFrom(cut, rf(10, 9))
+		if err != nil {
+			return false
+		}
+		probe := rf(int64(probeU%30), 2)
+		if probe.Greater(cut) {
+			probe = cut
+		}
+		return mod.HW(probe).Equal(s.HW(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package clock
+
+import (
+	"testing"
+
+	"gcs/internal/rat"
+)
+
+func TestDiverse(t *testing.T) {
+	lo, hi := ri(1), rf(5, 4)
+	scheds, err := Diverse(16, lo, hi, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 16 {
+		t.Fatalf("got %d schedules", len(scheds))
+	}
+	distinct := map[string]bool{}
+	for i, s := range scheds {
+		r := s.RateAt(rat.Rat{})
+		if r.Less(lo) || r.Greater(hi) {
+			t.Errorf("schedule %d rate %s outside [%s, %s]", i, r, lo, hi)
+		}
+		distinct[r.Key()] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("only %d distinct rates across 16 nodes", len(distinct))
+	}
+	// Deterministic.
+	again, err := Diverse(16, lo, hi, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scheds {
+		if !scheds[i].RateAt(rat.Rat{}).Equal(again[i].RateAt(rat.Rat{})) {
+			t.Fatal("Diverse is nondeterministic")
+		}
+	}
+	// Different seed, different pattern (with overwhelming probability).
+	other, err := Diverse(16, lo, hi, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range scheds {
+		if !scheds[i].RateAt(rat.Rat{}).Equal(other[i].RateAt(rat.Rat{})) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical rate patterns")
+	}
+}
+
+func TestDiverseErrors(t *testing.T) {
+	if _, err := Diverse(4, ri(1), rf(5, 4), 0, 1); err == nil {
+		t.Error("steps 0 should error")
+	}
+	if _, err := Diverse(4, rf(5, 4), ri(1), 4, 1); err == nil {
+		t.Error("hi < lo should error")
+	}
+	if _, err := Diverse(4, ri(0), ri(1), 4, 1); err == nil {
+		t.Error("lo = 0 should error")
+	}
+}
+
+func TestHWFunc(t *testing.T) {
+	s := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(4), Rate: ri(1).Add(rf(1, 4))},
+	})
+	f := s.HWFunc()
+	for _, tt := range []rat.Rat{ri(0), ri(2), ri(4), ri(8)} {
+		if !f.Eval(tt).Equal(s.HW(tt)) {
+			t.Errorf("HWFunc disagrees with HW at %s", tt)
+		}
+	}
+	// The returned PLF is a clone: mutating it must not affect the schedule.
+	_ = f.Append(ri(100), ri(0), ri(1))
+	if !s.HW(ri(200)).Equal(ri(249)) { // 4 + 196·5/4 = 249
+		t.Errorf("schedule mutated through HWFunc clone: HW(200) = %s", s.HW(ri(200)))
+	}
+}
+
+func TestRealAtErrors(t *testing.T) {
+	s := Constant(ri(1))
+	if _, err := s.RealAt(ri(-1)); err == nil {
+		t.Error("negative hardware value should error")
+	}
+}

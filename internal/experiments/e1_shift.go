@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gcs/internal/lowerbound"
+	"gcs/internal/rat"
+	"gcs/internal/sim"
+)
+
+// E1Options configures the Ω(d) shift experiment.
+type E1Options struct {
+	Protocols []sim.Protocol
+	Distances []int64
+	Params    lowerbound.Params
+}
+
+// DefaultE1 returns the benchmark configuration.
+func DefaultE1(protos []sim.Protocol) E1Options {
+	return E1Options{
+		Protocols: protos,
+		Distances: []int64{1, 2, 4, 8, 16, 32},
+		Params:    lowerbound.DefaultParams(),
+	}
+}
+
+// E1Row is one measurement.
+type E1Row struct {
+	Protocol   string
+	D          rat.Rat
+	SkewAlpha  rat.Rat
+	SkewBeta   rat.Rat
+	Separation rat.Rat
+	Guaranteed rat.Rat
+	Implied    rat.Rat
+	OK         bool
+}
+
+// E1Shift runs the two-node shift construction across protocols and
+// distances. The paper's claim: some execution puts Ω(d) skew between the
+// two nodes, whatever the algorithm. "OK" records Separation ≥ Guaranteed.
+func E1Shift(opt E1Options) ([]E1Row, *Table, error) {
+	var rows []E1Row
+	for _, proto := range opt.Protocols {
+		for _, d := range opt.Distances {
+			res, err := lowerbound.Shift(proto, rat.FromInt(d), opt.Params)
+			if err != nil {
+				return nil, nil, fmt.Errorf("e1 %s d=%d: %w", proto.Name(), d, err)
+			}
+			guaranteed := opt.Params.GainFraction().Mul(rat.FromInt(d))
+			rows = append(rows, E1Row{
+				Protocol:   proto.Name(),
+				D:          res.D,
+				SkewAlpha:  res.SkewAlpha,
+				SkewBeta:   res.SkewBeta,
+				Separation: res.Separation,
+				Guaranteed: guaranteed,
+				Implied:    res.Implied,
+				OK:         res.Separation.GreaterEq(guaranteed),
+			})
+		}
+	}
+	table := &Table{
+		ID:     "E1",
+		Title:  "Ω(d) shift bound (§5 claim 1): two indistinguishable executions separated by ≥ d/(8+4ρ)",
+		Header: []string{"protocol", "d", "skew(α)", "skew(β)", "separation", "guaranteed", "implied f(d)≥", "ok"},
+	}
+	allOK := true
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			r.Protocol, fmtRat(r.D), fmtRat(r.SkewAlpha), fmtRat(r.SkewBeta),
+			fmtRat(r.Separation), fmtRat(r.Guaranteed), fmtRat(r.Implied), fmtBool(r.OK),
+		})
+		allOK = allOK && r.OK
+	}
+	if allOK {
+		table.Notes = append(table.Notes, "paper: f(d) = Ω(d); measured: separation grows linearly in d for every protocol — REPRODUCED")
+	} else {
+		table.Notes = append(table.Notes, "separation below guarantee for some row — investigate")
+	}
+	return rows, table, nil
+}

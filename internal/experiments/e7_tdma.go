@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gcs/internal/clock"
+	"gcs/internal/lowerbound"
+	"gcs/internal/network"
+	"gcs/internal/rat"
+	"gcs/internal/sim"
+	"gcs/internal/workload"
+)
+
+// E7Options configures the TDMA scaling experiment.
+type E7Options struct {
+	Protocols []sim.Protocol
+	Diameters []int
+	TDMA      workload.TDMAConfig
+	Duration  rat.Rat
+	Rho       rat.Rat
+	Seed      uint64
+}
+
+// DefaultE7 returns the benchmark configuration: 2 slots of length 8 with a
+// guard band of 3 — with two slots, nodes at distance 2 share a slot and
+// interfere, so the schedule is collision-free exactly while distance-2
+// skew stays ≤ 3. (Three or more slots on a line put same-slot nodes beyond
+// interference range, which hides the effect entirely.)
+func DefaultE7(protos []sim.Protocol) E7Options {
+	return E7Options{
+		Protocols: protos,
+		Diameters: []int{4, 8, 16, 32},
+		TDMA: workload.TDMAConfig{
+			Slots:   2,
+			SlotLen: rat.FromInt(24),
+			Guard:   rat.FromInt(8),
+		},
+		Duration: rat.FromInt(48),
+		Rho:      rat.MustFrac(1, 2),
+		Seed:     11,
+	}
+}
+
+// E7Row is one (protocol, diameter) outcome.
+type E7Row struct {
+	Protocol  string
+	D         int
+	WorstSkew rat.Rat
+	// Feasible: collision-free on the benign (diverse-drift, random-delay)
+	// schedule.
+	Feasible bool
+	// AdvPeak is the distance-1 skew the §2 delay-switch adversary forces at
+	// this diameter; AdvFeasible compares it against the guard band — the
+	// paper's actual TDMA claim is about such worst-case schedules.
+	AdvPeak     rat.Rat
+	AdvFeasible bool
+}
+
+// E7TDMA evaluates, per diameter, whether the fixed guard band still
+// prevents collisions — the paper's claim that "the TDMA protocol with a
+// fixed slot granularity will fail as the network grows" for algorithms
+// without the gradient property.
+func E7TDMA(opt E7Options) ([]E7Row, *Table, error) {
+	var rows []E7Row
+	for _, proto := range opt.Protocols {
+		for _, d := range opt.Diameters {
+			n := d + 1
+			net, err := network.Line(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Every node drifts differently within [1, 1+ρ/2].
+			scheds, err := clock.Diverse(n, rat.FromInt(1),
+				rat.FromInt(1).Add(opt.Rho.Div(rat.FromInt(2))), 4, opt.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			exec, err := sim.Run(sim.Config{
+				Net:       net,
+				Schedules: scheds,
+				Adversary: sim.HashAdversary{Seed: opt.Seed, Denom: 8},
+				Protocol:  proto,
+				Duration:  opt.Duration,
+				Rho:       opt.Rho,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("e7 %s D=%d: %w", proto.Name(), d, err)
+			}
+			ok, worst, err := workload.TDMAFeasible(exec, opt.TDMA)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Worst case: the §2 delay-switch schedule at this diameter.
+			dc := rat.FromInt(int64(d))
+			switchAt := dc.Div(opt.Rho.Div(rat.FromInt(2))).Add(dc)
+			cex, err := lowerbound.Counterexample(lowerbound.CounterexampleInput{
+				Protocol: proto,
+				Dc:       dc,
+				SwitchAt: switchAt,
+				Duration: switchAt.Add(rat.FromInt(8)),
+				Params:   lowerbound.Params{Rho: opt.Rho},
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("e7 adversarial %s D=%d: %w", proto.Name(), d, err)
+			}
+			rows = append(rows, E7Row{
+				Protocol:    proto.Name(),
+				D:           d,
+				WorstSkew:   worst,
+				Feasible:    ok,
+				AdvPeak:     cex.PeakYZ.Val,
+				AdvFeasible: cex.PeakYZ.Val.LessEq(opt.TDMA.Guard),
+			})
+		}
+	}
+	table := &Table{
+		ID:     "E7",
+		Title:  fmt.Sprintf("TDMA with fixed guard band %s (slots=%d, slot=%s): feasibility vs diameter", opt.TDMA.Guard, opt.TDMA.Slots, opt.TDMA.SlotLen),
+		Header: []string{"protocol", "diameter", "benign skew", "benign ok", "adversarial d=1 skew", "adversarial ok"},
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			r.Protocol, fmt.Sprintf("%d", r.D), fmtRat(r.WorstSkew), fmtBool(r.Feasible),
+			fmtRat(r.AdvPeak), fmtBool(r.AdvFeasible),
+		})
+	}
+	table.Notes = append(table.Notes,
+		"paper (§1): fixed-granularity TDMA cannot scale. Expected shape: null fails even benignly; max-based algorithms survive benign schedules but the §2 adversary forces distance-1 skew ∝ D past any fixed guard; the gradient algorithm's rate cap keeps the adversarial skew bounded far longer")
+	return rows, table, nil
+}

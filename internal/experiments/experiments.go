@@ -1,0 +1,92 @@
+// Package experiments regenerates every checkable result of Fan & Lynch
+// (PODC 2004). The paper is a theory paper — its "evaluation" is its
+// constructions — so each experiment either executes a construction and
+// reports the certified quantities, or measures the behavior the paper
+// describes qualitatively (gradient profiles, application-level effects).
+//
+// Experiment index (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	E1  §5 claim 1      Ω(d) shift bound, per algorithm and distance
+//	E2  Lemma 6.1       Add Skew gain vs the guaranteed (x_J−x_I)/12
+//	F1  Figure 1        the β rate schedule (rendered and asserted in E2)
+//	E3  Lemma 7.1       Bounded Increase: max unit-window gain, implied f(1)
+//	E4  Theorem 8.1     iterated construction: adjacent skew vs log D/log log D
+//	E5  §2              Srikanth–Toueg counterexample: D+1 skew at distance 1
+//	E6  §1/§4           empirical gradient profiles f̂(d) per algorithm
+//	E7  §1 (TDMA)       guard-band feasibility vs diameter
+//	E8  §1 (apps)       data fusion consistency and tracking velocity error
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gcs/internal/rat"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes holds free-form commentary lines (paper-vs-measured verdicts).
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtRat renders a rational compactly: exact when short, decimal otherwise.
+func fmtRat(r rat.Rat) string {
+	s := r.String()
+	if len(s) <= 10 {
+		return s
+	}
+	return fmt.Sprintf("%.4f", r.Float64())
+}
+
+func fmtBool(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

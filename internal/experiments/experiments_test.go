@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gcs/internal/algorithms"
+	"gcs/internal/rat"
+	"gcs/internal/sim"
+)
+
+// smallProtos keeps experiment tests fast: one jump-based and one
+// rate-based algorithm.
+func smallProtos() []sim.Protocol {
+	return []sim.Protocol{
+		algorithms.MaxGossip(rat.FromInt(1)),
+		algorithms.Gradient(algorithms.DefaultGradientParams()),
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"== T: demo ==", "a", "bee", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE1(t *testing.T) {
+	opt := DefaultE1(smallProtos())
+	opt.Distances = []int64{1, 2}
+	rows, table, err := E1Shift(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s d=%s: separation %s below guarantee %s", r.Protocol, r.D, r.Separation, r.Guaranteed)
+		}
+	}
+	if !strings.Contains(table.Render(), "REPRODUCED") {
+		t.Error("E1 table missing reproduction verdict")
+	}
+}
+
+func TestE2(t *testing.T) {
+	opt := DefaultE2(smallProtos())
+	opt.Lines = []int{5, 9}
+	rows, table, figure, err := E2AddSkew(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s n=%d: gain below guarantee", r.Protocol, r.N)
+		}
+	}
+	if !strings.Contains(figure, "█") {
+		t.Error("figure 1 not rendered")
+	}
+	_ = table.Render()
+}
+
+func TestE3(t *testing.T) {
+	opt := DefaultE3(smallProtos())
+	opt.N = 5
+	opt.Duration = rat.FromInt(12)
+	opt.Node = 2
+	rows, table, err := E3BoundedIncrease(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ImpliedF1.Sign() <= 0 {
+			t.Errorf("%s: implied f(1) = %s not positive", r.Protocol, r.ImpliedF1)
+		}
+	}
+	_ = table.Render()
+}
+
+func TestE4(t *testing.T) {
+	opt := DefaultE4(smallProtos()[:1])
+	opt.Branch = 3
+	opt.RoundsList = []int{1, 2}
+	rows, table, err := E4MainTheorem(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.AllTargets {
+			t.Errorf("R=%d: not all round targets met", r.Rounds)
+		}
+		if r.AdjacentSkew.Less(r.PaperTarget) {
+			t.Errorf("R=%d: adjacent skew %s < target %s", r.Rounds, r.AdjacentSkew, r.PaperTarget)
+		}
+	}
+	_ = table.Render()
+}
+
+func TestE5(t *testing.T) {
+	opt := DefaultE5(smallProtos())
+	opt.Dcs = []int64{8}
+	rows, table, err := E5Counterexample(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxPeak, gradPeak float64
+	for _, r := range rows {
+		switch r.Protocol {
+		case "max-gossip":
+			maxPeak = r.Peak.Float64()
+		case "gradient":
+			gradPeak = r.Peak.Float64()
+		}
+	}
+	if maxPeak <= gradPeak {
+		t.Errorf("max-gossip peak %.3f should exceed gradient peak %.3f", maxPeak, gradPeak)
+	}
+	if maxPeak < 2 { // Dc=8, drift 1/4 → expect ≈ 2+
+		t.Errorf("max-gossip peak %.3f too small for Dc=8", maxPeak)
+	}
+	_ = table.Render()
+}
+
+func TestE6(t *testing.T) {
+	opt := DefaultE6(smallProtos())
+	opt.N = 9
+	opt.Duration = rat.FromInt(32)
+	opt.Distances = []int64{1, 4, 8}
+	profiles, table, err := E6Profiles(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for _, p := range profiles {
+		if len(p.Points) == 0 {
+			t.Errorf("%s: empty profile", p.Protocol)
+		}
+		// f̂ is trivially monotone-bounded by global.
+		for _, pt := range p.Points {
+			if pt.MaxSkew.Greater(p.Global) {
+				t.Errorf("%s: f̂(%s)=%s exceeds global %s", p.Protocol, pt.Dist, pt.MaxSkew, p.Global)
+			}
+		}
+	}
+	_ = table.Render()
+}
+
+func TestE7(t *testing.T) {
+	opt := DefaultE7(smallProtos())
+	opt.Diameters = []int{4, 8}
+	opt.Duration = rat.FromInt(24)
+	rows, table, err := E7TDMA(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	_ = table.Render()
+}
+
+func TestE8(t *testing.T) {
+	opt := DefaultE8(smallProtos())
+	opt.N = 9
+	opt.Duration = rat.FromInt(40)
+	opt.TrackDists = []int{1, 4}
+	opt.CrossAt = rat.FromInt(20)
+	rows, table, err := E8Applications(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SiblingSkew.Greater(r.GlobalSkew) {
+			t.Errorf("%s: sibling skew exceeds global", r.Protocol)
+		}
+		if len(r.TrackErrPct) != 2 {
+			t.Errorf("%s: tracking errors = %v", r.Protocol, r.TrackErrPct)
+		}
+	}
+	_ = table.Render()
+}
+
+func TestE9(t *testing.T) {
+	opt := DefaultE9()
+	opt.N = 9
+	opt.Duration = rat.FromInt(24)
+	opt.Thresholds = opt.Thresholds[:2]
+	opt.FastMults = opt.FastMults[:2]
+	opt.JumpCaps = opt.JumpCaps[:2]
+	gradRows, capRows, gt, ct, err := E9Ablations(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gradRows) != 4 || len(capRows) != 2 {
+		t.Fatalf("rows = %d, %d", len(gradRows), len(capRows))
+	}
+	// Larger caps permit at least as much adversarial local skew.
+	if capRows[0].AdvPeak.Greater(capRows[1].AdvPeak) {
+		t.Errorf("cap %s adversarial peak %s exceeds cap %s peak %s",
+			capRows[0].Cap, capRows[0].AdvPeak, capRows[1].Cap, capRows[1].AdvPeak)
+	}
+	_ = gt.Render()
+	_ = ct.Render()
+}
+
+func TestE10(t *testing.T) {
+	opt := DefaultE10(smallProtos())
+	opt.Duration = rat.FromInt(24)
+	rows, table, err := E10Topologies(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 protocols × 4 topologies
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Local.Greater(r.Global) {
+			t.Errorf("%s on %s: local %s > global %s", r.Protocol, r.Topology, r.Local, r.Global)
+		}
+	}
+	_ = table.Render()
+}
+
+func TestE11(t *testing.T) {
+	opt := DefaultE11(smallProtos())
+	opt.N = 9
+	opt.Duration = rat.FromInt(24)
+	opt.Seeds = []uint64{1, 2, 3}
+	rows, table, err := E11Seeds(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LocalMedian > r.LocalMax || r.GlobalMed > r.GlobalMax {
+			t.Errorf("%s: median exceeds max", r.Protocol)
+		}
+		if r.LocalMax > r.GlobalMax {
+			t.Errorf("%s: local max exceeds global max", r.Protocol)
+		}
+	}
+	_ = table.Render()
+}
+
+func TestMedianMax(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %f", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %f", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median empty = %f", m)
+	}
+	if m := maxOf([]float64{1, 5, 2}); m != 5 {
+		t.Errorf("maxOf = %f", m)
+	}
+}

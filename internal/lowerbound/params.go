@@ -1,0 +1,76 @@
+// Package lowerbound implements the adversarial constructions of Fan &
+// Lynch, "Gradient Clock Synchronization" (PODC 2004), as executable,
+// self-verifying procedures.
+//
+// Each construction takes a concrete clock synchronization protocol, builds
+// the executions from the corresponding proof by surgery on hardware-clock
+// rate schedules and message delays, re-simulates them, and checks every
+// side condition the proof relies on:
+//
+//   - Shift (§5, claim 1): the folklore two-node argument giving f(d) = Ω(d).
+//   - AddSkew (Lemma 6.1): an execution transformation that adds
+//     (x_j−x_i)/12 skew between two chosen nodes while remaining
+//     indistinguishable to every node.
+//   - BoundedIncrease (Lemma 7.1): the speed-up probe showing a node that
+//     raises its logical clock quickly can be driven to violate any claimed
+//     f(1) bound.
+//   - MainTheorem (Theorem 8.1): the iterated construction forcing
+//     Ω(log D / log log D) skew between some adjacent pair on a line.
+//   - Counterexample (§2): the 3-node schedule under which max-based
+//     algorithms put D+1 skew between nodes at distance 1.
+//
+// All checks are exact (rational arithmetic); a construction that fails any
+// side condition returns an error instead of a certificate.
+package lowerbound
+
+import (
+	"fmt"
+
+	"gcs/internal/rat"
+)
+
+// Params are the drift-derived constants of the constructions.
+type Params struct {
+	// Rho is the hardware drift bound ρ ∈ (0, 1).
+	Rho rat.Rat
+}
+
+// DefaultParams uses ρ = 1/2: large enough that drift effects appear in
+// short simulations, and giving the small exact constants τ = 2, γ = 10/9.
+func DefaultParams() Params {
+	return Params{Rho: rat.MustFrac(1, 2)}
+}
+
+// Validate checks 0 < ρ < 1.
+func (p Params) Validate() error {
+	if p.Rho.Sign() <= 0 || p.Rho.GreaterEq(rat.FromInt(1)) {
+		return fmt.Errorf("lowerbound: ρ = %s outside (0, 1)", p.Rho)
+	}
+	return nil
+}
+
+// Tau returns τ = 1/ρ (the paper's window-length unit).
+func (p Params) Tau() rat.Rat { return rat.FromInt(1).Div(p.Rho) }
+
+// Gamma returns γ = 1 + ρ/(4+ρ), the speed-up rate of the Add Skew lemma.
+// Note γ ≤ 1 + ρ/4 < 1 + ρ/2, so sped-up clocks stay within the rate band
+// [1, 1+ρ/2] that the main theorem maintains (claim 6.3 / property 1.4).
+func (p Params) Gamma() rat.Rat {
+	one := rat.FromInt(1)
+	return one.Add(p.Rho.Div(rat.FromInt(4).Add(p.Rho)))
+}
+
+// GainFraction returns the guaranteed Add Skew gain per unit of position
+// separation: (1/2)·τ·(1−1/γ) = 1/(2(4+2ρ)) ≥ 1/12 for ρ < 1. The paper
+// states the weaker constant 1/12 (claim 6.5).
+func (p Params) GainFraction() rat.Rat {
+	one := rat.FromInt(1)
+	gamma := p.Gamma()
+	return p.Tau().Mul(one.Sub(one.Div(gamma))).Div(rat.FromInt(2))
+}
+
+// RateBandHigh returns 1 + ρ/2, the upper rate bound that property 1.4 of
+// the main theorem maintains on every execution α_k.
+func (p Params) RateBandHigh() rat.Rat {
+	return rat.FromInt(1).Add(p.Rho.Div(rat.FromInt(2)))
+}

@@ -1,0 +1,21 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"gcs/internal/algorithms"
+)
+
+func BenchmarkMainTheoremD65(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := MainTheorem(MainTheoremInput{
+			Protocol: algorithms.MaxGossip(ri(1)),
+			Params:   DefaultParams(),
+			Branch:   4,
+			Rounds:   3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

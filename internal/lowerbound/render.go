@@ -1,0 +1,71 @@
+package lowerbound
+
+import (
+	"fmt"
+	"strings"
+
+	"gcs/internal/rat"
+)
+
+// RenderFigure1 draws the paper's Figure 1 — the hardware clock rates of
+// nodes 1..D in execution β of the Add Skew lemma — as ASCII art. Thick
+// segments (█) mark the interval during which a node runs at rate γ; thin
+// segments (─) mark rate 1. Node k runs at γ for τ/γ time longer than node
+// k+1 for k = i..j−1.
+func RenderFigure1(res *AddSkewResult, s rat.Rat, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var b strings.Builder
+	tPrime := res.TPrime
+	span := tPrime.Sub(s)
+	if span.Sign() <= 0 {
+		return "(empty window)\n"
+	}
+	fmt.Fprintf(&b, "hardware clock rates in β (window [%s, %s], γ-speed shown thick)\n", s, tPrime)
+	fmt.Fprintf(&b, "%6s  %s\n", "node", "time →")
+	for k, tk := range res.Tk {
+		// Fraction of the window before the node speeds up.
+		frac := tk.Sub(s).Div(span).Float64()
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		plain := int(frac * float64(width))
+		if plain > width {
+			plain = width
+		}
+		fmt.Fprintf(&b, "%6d  %s%s  Tk=%s\n", k,
+			strings.Repeat("─", plain), strings.Repeat("█", width-plain), tk)
+	}
+	return b.String()
+}
+
+// RenderRounds formats the per-round table of a MainTheoremResult, matching
+// the paper's Δ_k ≥ k/24·n_k milestones.
+func RenderRounds(res *MainTheoremResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "main theorem construction on %d nodes (diameter %d)\n", res.D, res.D-1)
+	fmt.Fprintf(&b, "%3s %6s %11s %12s %12s %10s %12s %10s %6s\n",
+		"k", "n_k", "pair", "Δ_k", "gain", "loss", "Δ_{k+1}", "target", "met")
+	for _, r := range res.Rounds {
+		fmt.Fprintf(&b, "%3d %6d %11s %12s %12s %10s %12s %10s %6v\n",
+			r.K, r.NK, fmt.Sprintf("(%d,%d)", r.IK, r.JK),
+			trimRat(r.SkewStart), trimRat(r.AddSkewGain), trimRat(r.ExtensionLoss),
+			trimRat(r.NextSkew), trimRat(r.Target), r.TargetMet)
+	}
+	fmt.Fprintf(&b, "final adjacent pair (%d,%d): skew %s (paper target after %d rounds: %s)\n",
+		res.AdjacentI, res.AdjacentI+1, trimRat(res.AdjacentSkew), len(res.Rounds), trimRat(res.PaperTarget))
+	return b.String()
+}
+
+// trimRat renders a rational compactly: exact when short, decimal otherwise.
+func trimRat(r rat.Rat) string {
+	s := r.String()
+	if len(s) <= 10 {
+		return s
+	}
+	return fmt.Sprintf("%.4f", r.Float64())
+}

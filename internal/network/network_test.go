@@ -1,0 +1,183 @@
+package network
+
+import (
+	"testing"
+
+	"gcs/internal/rat"
+)
+
+func ri(n int64) rat.Rat { return rat.FromInt(n) }
+
+func TestLine(t *testing.T) {
+	w, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 5 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !w.Dist(0, 4).Equal(ri(4)) {
+		t.Errorf("Dist(0,4) = %s, want 4", w.Dist(0, 4))
+	}
+	if !w.Dist(2, 3).Equal(ri(1)) {
+		t.Errorf("Dist(2,3) = %s, want 1", w.Dist(2, 3))
+	}
+	if !w.Diameter().Equal(ri(4)) {
+		t.Errorf("Diameter = %s, want 4", w.Diameter())
+	}
+	if got := w.Neighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if got := w.Neighbors(2); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Neighbors(2) = %v", got)
+	}
+	if got := w.Neighbors(4); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Neighbors(4) = %v", got)
+	}
+	if _, err := Line(1); err == nil {
+		t.Error("Line(1) should error")
+	}
+}
+
+func TestTwoNode(t *testing.T) {
+	w, err := TwoNode(ri(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Dist(0, 1).Equal(ri(7)) {
+		t.Errorf("Dist = %s", w.Dist(0, 1))
+	}
+	if _, err := TwoNode(rat.MustFrac(1, 2)); err == nil {
+		t.Error("distance < 1 should error")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	w, err := Complete(4, ri(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Neighbors(2)) != 3 {
+		t.Errorf("Neighbors(2) = %v", w.Neighbors(2))
+	}
+	if !w.Diameter().Equal(ri(3)) {
+		t.Errorf("Diameter = %s", w.Diameter())
+	}
+}
+
+func TestRing(t *testing.T) {
+	w, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Dist(0, 3).Equal(ri(3)) {
+		t.Errorf("Dist(0,3) = %s, want 3", w.Dist(0, 3))
+	}
+	if !w.Dist(0, 5).Equal(ri(1)) {
+		t.Errorf("Dist(0,5) = %s, want 1 (wraparound)", w.Dist(0, 5))
+	}
+	if !w.Diameter().Equal(ri(3)) {
+		t.Errorf("Diameter = %s, want 3", w.Diameter())
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	w, err := Grid2D(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node (x=0,y=0) is 0; (x=2,y=1) is 5. Manhattan distance 3.
+	if !w.Dist(0, 5).Equal(ri(3)) {
+		t.Errorf("Dist(0,5) = %s, want 3", w.Dist(0, 5))
+	}
+	// Corner has 2 neighbors, middle-edge has 3.
+	if len(w.Neighbors(0)) != 2 {
+		t.Errorf("Neighbors(0) = %v", w.Neighbors(0))
+	}
+	if len(w.Neighbors(1)) != 3 {
+		t.Errorf("Neighbors(1) = %v", w.Neighbors(1))
+	}
+}
+
+func TestStar(t *testing.T) {
+	w, err := Star(4, ri(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Dist(0, 2).Equal(ri(1)) {
+		t.Errorf("hub-leaf dist = %s", w.Dist(0, 2))
+	}
+	if !w.Dist(1, 2).Equal(ri(2)) {
+		t.Errorf("leaf-leaf dist = %s", w.Dist(1, 2))
+	}
+	if len(w.Neighbors(0)) != 3 || len(w.Neighbors(1)) != 1 {
+		t.Error("star adjacency wrong")
+	}
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	a, err := RandomGeometric(20, 10, 4.5, 42)
+	if err != nil {
+		t.Skip("seed 42 disconnected; acceptable for this geometry")
+	}
+	b, err := RandomGeometric(20, 10, 4.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Pairs(func(i, j int) {
+		if !a.Dist(i, j).Equal(b.Dist(i, j)) {
+			t.Fatalf("nondeterministic distances at (%d,%d)", i, j)
+		}
+	})
+	// Triangle inequality for hop metrics.
+	n := a.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if i == j || j == k || i == k {
+					continue
+				}
+				if a.Dist(i, k).Greater(a.Dist(i, j).Add(a.Dist(j, k))) {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	half := rat.MustFrac(1, 2)
+	tests := []struct {
+		name string
+		dist [][]rat.Rat
+		adj  [][]int
+	}{
+		{"too small", [][]rat.Rat{{{}}}, [][]int{{}}},
+		{"asymmetric", [][]rat.Rat{{{}, ri(1)}, {ri(2), {}}}, [][]int{{1}, {0}}},
+		{"nonzero diagonal", [][]rat.Rat{{ri(1), ri(1)}, {ri(1), {}}}, [][]int{{1}, {0}}},
+		{"sub-unit distance", [][]rat.Rat{{{}, half}, {half, {}}}, [][]int{{1}, {0}}},
+		{"bad neighbor", [][]rat.Rat{{{}, ri(1)}, {ri(1), {}}}, [][]int{{5}, {0}}},
+		{"self neighbor", [][]rat.Rat{{{}, ri(1)}, {ri(1), {}}}, [][]int{{0}, {0}}},
+		{"ragged", [][]rat.Rat{{{}, ri(1)}, {ri(1)}}, [][]int{{1}, {0}}},
+		{"adjacency size", [][]rat.Rat{{{}, ri(1)}, {ri(1), {}}}, [][]int{{1}}},
+	}
+	for _, tt := range tests {
+		if _, err := New(tt.name, tt.dist, tt.adj); err == nil {
+			t.Errorf("%s: want error", tt.name)
+		}
+	}
+}
+
+func TestPairs(t *testing.T) {
+	w, _ := Line(4)
+	count := 0
+	w.Pairs(func(i, j int) {
+		if i >= j {
+			t.Errorf("pair (%d,%d) not ordered", i, j)
+		}
+		count++
+	})
+	if count != 6 {
+		t.Errorf("pairs = %d, want 6", count)
+	}
+}

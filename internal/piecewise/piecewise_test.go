@@ -1,0 +1,344 @@
+package piecewise
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gcs/internal/rat"
+)
+
+func ri(n int64) rat.Rat    { return rat.FromInt(n) }
+func rf(n, d int64) rat.Rat { return rat.MustFrac(n, d) }
+func eq(a, b rat.Rat) bool  { return a.Equal(b) }
+func mustSegs(t *testing.T, segs []Seg) *PLF {
+	t.Helper()
+	f, err := FromSegs(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewEval(t *testing.T) {
+	f := New(ri(0), ri(10), rf(1, 2))
+	tests := []struct {
+		t, want rat.Rat
+	}{
+		{ri(0), ri(10)},
+		{ri(2), ri(11)},
+		{ri(100), ri(60)},
+		{rf(1, 3), rf(61, 6)},
+	}
+	for _, tt := range tests {
+		if got := f.Eval(tt.t); !eq(got, tt.want) {
+			t.Errorf("Eval(%s) = %s, want %s", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestEvalBeforeStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval before start did not panic")
+		}
+	}()
+	New(ri(5), ri(0), ri(1)).Eval(ri(4))
+}
+
+func TestAppendAndJumps(t *testing.T) {
+	// f(t) = t on [0,10); jump to 20 at t=10, slope 2 afterwards.
+	f := New(ri(0), ri(0), ri(1))
+	if err := f.Append(ri(10), ri(20), ri(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.EvalLeft(ri(10)); !eq(got, ri(10)) {
+		t.Errorf("EvalLeft(10) = %s, want 10", got)
+	}
+	if got := f.Eval(ri(10)); !eq(got, ri(20)) {
+		t.Errorf("Eval(10) = %s, want 20", got)
+	}
+	if got := f.JumpAt(ri(10)); !eq(got, ri(10)) {
+		t.Errorf("JumpAt(10) = %s, want 10", got)
+	}
+	if got := f.Eval(ri(12)); !eq(got, ri(24)) {
+		t.Errorf("Eval(12) = %s, want 24", got)
+	}
+	if f.IsContinuous() {
+		t.Error("f should not be continuous")
+	}
+}
+
+func TestAppendAtSameBreakpointReplaces(t *testing.T) {
+	f := New(ri(0), ri(0), ri(1))
+	if err := f.Append(ri(5), ri(5), ri(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(ri(5), ri(7), ri(4)); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumSegs() != 2 {
+		t.Fatalf("NumSegs = %d, want 2", f.NumSegs())
+	}
+	if got := f.Eval(ri(6)); !eq(got, ri(11)) {
+		t.Errorf("Eval(6) = %s, want 11", got)
+	}
+}
+
+func TestAppendBeforeLastErrors(t *testing.T) {
+	f := New(ri(0), ri(0), ri(1))
+	if err := f.Append(ri(5), ri(5), ri(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(ri(3), ri(0), ri(1)); err == nil {
+		t.Error("appending before last breakpoint should error")
+	}
+}
+
+func TestAppendSlopeContinuous(t *testing.T) {
+	f := New(ri(0), ri(0), ri(2))
+	if err := f.AppendSlope(ri(3), rf(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Eval(ri(3)); !eq(got, ri(6)) {
+		t.Errorf("Eval(3) = %s, want 6", got)
+	}
+	if got := f.Eval(ri(5)); !eq(got, ri(7)) {
+		t.Errorf("Eval(5) = %s, want 7", got)
+	}
+	if !f.IsContinuous() {
+		t.Error("f should be continuous")
+	}
+}
+
+func TestFromSegsValidation(t *testing.T) {
+	if _, err := FromSegs(nil); err == nil {
+		t.Error("empty segs should error")
+	}
+	_, err := FromSegs([]Seg{
+		{From: ri(0), V0: ri(0), Slope: ri(1)},
+		{From: ri(0), V0: ri(1), Slope: ri(1)},
+	})
+	if err == nil {
+		t.Error("non-increasing From should error")
+	}
+}
+
+func TestMinMaxSlope(t *testing.T) {
+	f := mustSegs(t, []Seg{
+		{From: ri(0), V0: ri(0), Slope: ri(1)},
+		{From: ri(10), V0: ri(10), Slope: ri(3)},
+		{From: ri(20), V0: ri(40), Slope: rf(1, 2)},
+	})
+	if got := f.MinSlope(ri(0), ri(100)); !eq(got, rf(1, 2)) {
+		t.Errorf("MinSlope = %s, want 1/2", got)
+	}
+	if got := f.MaxSlope(ri(0), ri(100)); !eq(got, ri(3)) {
+		t.Errorf("MaxSlope = %s, want 3", got)
+	}
+	// Window covering only the middle piece.
+	if got := f.MinSlope(ri(12), ri(15)); !eq(got, ri(3)) {
+		t.Errorf("MinSlope(12,15) = %s, want 3", got)
+	}
+	// Window straddling the first two pieces.
+	if got := f.MaxSlope(ri(5), ri(12)); !eq(got, ri(3)) {
+		t.Errorf("MaxSlope(5,12) = %s, want 3", got)
+	}
+	if got := f.MinSlope(ri(5), ri(12)); !eq(got, ri(1)) {
+		t.Errorf("MinSlope(5,12) = %s, want 1", got)
+	}
+}
+
+func TestMinJump(t *testing.T) {
+	f := New(ri(0), ri(0), ri(1))
+	_ = f.Append(ri(5), ri(4), ri(1))   // jump of -1
+	_ = f.Append(ri(10), ri(20), ri(1)) // jump of +11
+	if got := f.MinJump(ri(0), ri(20)); !eq(got, ri(-1)) {
+		t.Errorf("MinJump = %s, want -1", got)
+	}
+	if got := f.MinJump(ri(6), ri(20)); !eq(got, ri(0)) {
+		t.Errorf("MinJump(6,20) = %s, want 0", got)
+	}
+}
+
+func TestInvertAt(t *testing.T) {
+	// Hardware-clock-like: continuous, increasing, varying rates.
+	f := mustSegs(t, []Seg{
+		{From: ri(0), V0: ri(0), Slope: ri(1)},
+		{From: ri(10), V0: ri(10), Slope: ri(2)},
+		{From: ri(20), V0: ri(30), Slope: rf(1, 2)},
+	})
+	tests := []struct {
+		y, want rat.Rat
+	}{
+		{ri(0), ri(0)},
+		{ri(5), ri(5)},
+		{ri(10), ri(10)},
+		{ri(20), ri(15)},
+		{ri(30), ri(20)},
+		{ri(31), ri(22)},
+	}
+	for _, tt := range tests {
+		got, err := f.InvertAt(tt.y)
+		if err != nil {
+			t.Errorf("InvertAt(%s) error: %v", tt.y, err)
+			continue
+		}
+		if !eq(got, tt.want) {
+			t.Errorf("InvertAt(%s) = %s, want %s", tt.y, got, tt.want)
+		}
+		// Round trip.
+		if back := f.Eval(got); !eq(back, tt.y) {
+			t.Errorf("Eval(InvertAt(%s)) = %s", tt.y, back)
+		}
+	}
+	if _, err := f.InvertAt(ri(-1)); err == nil {
+		t.Error("InvertAt below range should error")
+	}
+}
+
+func TestInvertAtFlatSegment(t *testing.T) {
+	f := mustSegs(t, []Seg{
+		{From: ri(0), V0: ri(0), Slope: ri(1)},
+		{From: ri(5), V0: ri(5), Slope: ri(0)},
+		{From: ri(8), V0: ri(5), Slope: ri(1)},
+	})
+	got, err := f.InvertAt(ri(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(got, ri(5)) {
+		t.Errorf("InvertAt(5) = %s, want earliest 5", got)
+	}
+	got, err = f.InvertAt(ri(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(got, ri(9)) {
+		t.Errorf("InvertAt(6) = %s, want 9", got)
+	}
+}
+
+func TestInvertAtSkippedByJump(t *testing.T) {
+	f := New(ri(0), ri(0), ri(1))
+	_ = f.Append(ri(5), ri(10), ri(1)) // jump over (5,10)
+	if _, err := f.InvertAt(ri(7)); err == nil {
+		t.Error("InvertAt of skipped value should error")
+	}
+	got, err := f.InvertAt(ri(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(got, ri(5)) {
+		t.Errorf("InvertAt(10) = %s, want 5", got)
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	// a(t) = t, b = 5 constant: max of a-b on [0,10] is 5 at t=10.
+	a := New(ri(0), ri(0), ri(1))
+	b := New(ri(0), ri(5), ri(0))
+	got := MaxDiff(a, b, ri(0), ri(10))
+	if !eq(got.Val, ri(5)) || !eq(got.At, ri(10)) {
+		t.Errorf("MaxDiff = %s at %s, want 5 at 10", got.Val, got.At)
+	}
+	// Max attained at an interior breakpoint of a.
+	a2 := New(ri(0), ri(0), ri(2))
+	_ = a2.AppendSlope(ri(4), ri(-1)) // peak value 8 at t=4
+	got = MaxDiff(a2, b, ri(0), ri(10))
+	if !eq(got.Val, ri(3)) || !eq(got.At, ri(4)) {
+		t.Errorf("MaxDiff = %s at %s, want 3 at 4", got.Val, got.At)
+	}
+}
+
+func TestMaxDiffLeftLimitAtJump(t *testing.T) {
+	// a rises to 10 then jumps DOWN to 0 at t=5: the max of a-b is the left
+	// limit at the jump.
+	a := New(ri(0), ri(0), ri(2))
+	_ = a.Append(ri(5), ri(0), ri(0))
+	b := New(ri(0), ri(0), ri(0))
+	got := MaxDiff(a, b, ri(0), ri(10))
+	if !eq(got.Val, ri(10)) || !eq(got.At, ri(5)) {
+		t.Errorf("MaxDiff = %s at %s, want 10 at 5 (left limit)", got.Val, got.At)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := New(ri(0), ri(0), ri(1)) // t
+	b := New(ri(0), ri(8), ri(0)) // 8
+	got := MaxAbsDiff(a, b, ri(0), ri(10))
+	if !eq(got.Val, ri(8)) || !eq(got.At, ri(0)) {
+		t.Errorf("MaxAbsDiff = %s at %s, want 8 at 0", got.Val, got.At)
+	}
+}
+
+func TestBreakpointsIn(t *testing.T) {
+	f := mustSegs(t, []Seg{
+		{From: ri(0), V0: ri(0), Slope: ri(1)},
+		{From: ri(5), V0: ri(5), Slope: ri(1)},
+		{From: ri(10), V0: ri(10), Slope: ri(1)},
+	})
+	got := f.BreakpointsIn(ri(0), ri(10))
+	if len(got) != 2 || !eq(got[0], ri(5)) || !eq(got[1], ri(10)) {
+		t.Errorf("BreakpointsIn(0,10] = %v", got)
+	}
+	got = f.BreakpointsIn(ri(5), ri(9))
+	if len(got) != 0 {
+		t.Errorf("BreakpointsIn(5,9] = %v, want empty", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := New(ri(0), ri(0), ri(1))
+	g := f.Clone()
+	_ = f.Append(ri(5), ri(100), ri(0))
+	if g.NumSegs() != 1 {
+		t.Error("clone was mutated")
+	}
+}
+
+// Property: InvertAt is a right inverse of Eval for continuous increasing
+// PLFs built from random positive slopes.
+func TestQuickInvertRoundTrip(t *testing.T) {
+	f := func(slopes [4]uint8, q uint8) bool {
+		plf := New(ri(0), ri(0), rf(int64(slopes[0]%7)+1, 1))
+		at := int64(0)
+		for _, s := range slopes[1:] {
+			at += int64(s%5) + 1
+			if err := plf.AppendSlope(ri(at), rf(int64(s%7)+1, 2)); err != nil {
+				return false
+			}
+		}
+		y := rf(int64(q), 3)
+		tVal, err := plf.InvertAt(y)
+		if err != nil {
+			return false
+		}
+		return plf.Eval(tVal).Equal(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxDiff is an upper bound of the difference on a sample grid.
+func TestQuickMaxDiffDominatesGrid(t *testing.T) {
+	f := func(sa, sb [3]int8, ja, jb uint8) bool {
+		a := New(ri(0), ri(int64(ja)), rf(int64(sa[0]), 3))
+		b := New(ri(0), ri(int64(jb)), rf(int64(sb[0]), 3))
+		_ = a.AppendSlope(ri(3), rf(int64(sa[1]), 3))
+		_ = b.AppendSlope(ri(4), rf(int64(sb[1]), 3))
+		_ = a.AppendSlope(ri(7), rf(int64(sa[2]), 3))
+		_ = b.AppendSlope(ri(8), rf(int64(sb[2]), 3))
+		m := MaxDiff(a, b, ri(0), ri(12))
+		for i := int64(0); i <= 24; i++ {
+			tt := rf(i, 2)
+			if a.Eval(tt).Sub(b.Eval(tt)).Greater(m.Val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

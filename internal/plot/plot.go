@@ -1,0 +1,135 @@
+// Package plot renders exact piecewise-linear simulation data as ASCII
+// charts for terminals: skew-versus-time lines and gradient-profile bars.
+// Sampling is only for display; all underlying analysis stays exact.
+package plot
+
+import (
+	"fmt"
+	"strings"
+
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// Series is one named curve sampled on the shared time grid.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// TimeSeries samples f(t) = L_i(t) − L_j(t) on a width-point grid.
+func TimeSeries(e *trace.Execution, i, j int, width int) Series {
+	if width < 2 {
+		width = 2
+	}
+	vals := make([]float64, width)
+	dur := e.Duration
+	for k := 0; k < width; k++ {
+		t := dur.Mul(rat.MustFrac(int64(k), int64(width-1)))
+		vals[k] = e.LogicalAt(i, t).Sub(e.LogicalAt(j, t)).Float64()
+	}
+	return Series{Name: fmt.Sprintf("L%d-L%d", i, j), Values: vals}
+}
+
+// Chart renders one or more series as a height-row ASCII chart with a
+// shared y-scale. Each series uses its own glyph.
+func Chart(title string, height int, series ...Series) string {
+	if len(series) == 0 {
+		return "(no series)\n"
+	}
+	if height < 3 {
+		height = 3
+	}
+	width := 0
+	lo, hi := series[0].Values[0], series[0].Values[0]
+	for _, s := range series {
+		if len(s.Values) > width {
+			width = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for k, v := range s.Values {
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][k] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.2f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.2f", lo)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s  t=0%st=end\n", strings.Repeat(" ", 8), strings.Repeat("-", max(0, width-7)))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 8), strings.Join(legend, "   "))
+	return b.String()
+}
+
+// Bars renders label/value pairs as a horizontal bar chart (used for the
+// empirical gradient profile f̂(d)).
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, v := range values {
+		n := int(v / maxVal * float64(width))
+		fmt.Fprintf(&b, "%-*s |%s %.3f\n", maxLabel, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

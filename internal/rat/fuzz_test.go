@@ -1,0 +1,33 @@
+package rat
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzParse checks that any string Parse accepts round-trips through String
+// and agrees with math/big.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"0", "1", "-1", "3/4", "-3/4", "1.25", "1e3",
+		"9223372036854775807", "-9223372036854775808/3",
+		"123456789123456789123456789/987654321987654321"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return // rejected input: nothing to check
+		}
+		want, ok := new(big.Rat).SetString(s)
+		if !ok {
+			t.Fatalf("Parse accepted %q but big.Rat rejects it", s)
+		}
+		if r.toBig().Cmp(want) != 0 {
+			t.Fatalf("Parse(%q) = %s, big.Rat = %s", s, r, want.RatString())
+		}
+		back, err := Parse(r.String())
+		if err != nil || !back.Equal(r) {
+			t.Fatalf("String round trip failed for %q → %s", s, r)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"hash/fnv"
+	"strconv"
+
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// FractionAdversary assigns every message the delay frac·bound. frac must be
+// in [0, 1]. The paper's constructions use frac = 1/2 ("message delay
+// between k1 and k2 is |k1−k2|/2").
+type FractionAdversary struct {
+	Frac rat.Rat
+}
+
+var _ Adversary = FractionAdversary{}
+
+// Delay implements Adversary.
+func (a FractionAdversary) Delay(_, _ int, _ uint64, _ rat.Rat, bound rat.Rat) rat.Rat {
+	return a.Frac.Mul(bound)
+}
+
+// Midpoint returns the frac=1/2 adversary used throughout the constructions.
+func Midpoint() FractionAdversary { return FractionAdversary{Frac: rat.MustFrac(1, 2)} }
+
+// ScriptedAdversary replays exact per-message delays from a script, falling
+// back to Fallback for messages outside the script. The Add Skew
+// re-simulation uses it to realize the remapped receive times.
+type ScriptedAdversary struct {
+	Delays   map[trace.MsgKey]rat.Rat
+	Fallback Adversary
+}
+
+var _ Adversary = ScriptedAdversary{}
+
+// Delay implements Adversary.
+func (a ScriptedAdversary) Delay(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) rat.Rat {
+	if d, ok := a.Delays[trace.MsgKey{From: from, To: to, Seq: seq}]; ok {
+		return d
+	}
+	return a.Fallback.Delay(from, to, seq, sendReal, bound)
+}
+
+// FuncAdversary adapts a function to the Adversary interface. The function
+// must be deterministic in its arguments.
+type FuncAdversary func(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) rat.Rat
+
+var _ Adversary = FuncAdversary(nil)
+
+// Delay implements Adversary.
+func (f FuncAdversary) Delay(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) rat.Rat {
+	return f(from, to, seq, sendReal, bound)
+}
+
+// HashAdversary assigns pseudo-random delays frac·bound with frac drawn
+// deterministically from a hash of (seed, from, to, seq) — independent of
+// event processing order, so runs are reproducible. Delays are quantized to
+// Denom-ths of the bound to keep rational arithmetic small.
+type HashAdversary struct {
+	Seed  uint64
+	Denom int64 // quantization; 0 means 16
+}
+
+var _ Adversary = HashAdversary{}
+
+// Delay implements Adversary.
+func (a HashAdversary) Delay(from, to int, seq uint64, _ rat.Rat, bound rat.Rat) rat.Rat {
+	denom := a.Denom
+	if denom <= 0 {
+		denom = 16
+	}
+	h := fnv.New64a()
+	write := func(v uint64) {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	write(a.Seed)
+	write(uint64(from))
+	write(uint64(to))
+	write(seq)
+	num := int64(h.Sum64() % uint64(denom+1)) // in [0, denom]
+	return rat.MustFrac(num, denom).Mul(bound)
+}
+
+// String returns a debugging label.
+func (a HashAdversary) String() string { return "hash-" + strconv.FormatUint(a.Seed, 10) }

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// event is a scheduled occurrence. Ordering must be a deterministic function
+// of node-visible data wherever possible so that the per-node order is
+// invariant under the monotone time remappings used by the lower-bound
+// constructions: (time, kind, node, peer, msgSeq/timerID, seq).
+type event struct {
+	time    rat.Rat
+	kind    trace.Kind
+	node    int // destination node
+	from    int // Recv only
+	msgSeq  uint64
+	timerID int
+	payload Message
+	seq     uint64 // global scheduling sequence, final tie-breaker
+	index   int    // heap bookkeeping
+}
+
+// kindRank orders simultaneous events: inits, then message deliveries, then
+// timers.
+func kindRank(k trace.Kind) int {
+	switch k {
+	case trace.KindInit:
+		return 0
+	case trace.KindRecv:
+		return 1
+	case trace.KindTimer:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// less is the deterministic total order on events.
+func (e *event) less(o *event) bool {
+	if c := e.time.Cmp(o.time); c != 0 {
+		return c < 0
+	}
+	if a, b := kindRank(e.kind), kindRank(o.kind); a != b {
+		return a < b
+	}
+	if e.node != o.node {
+		return e.node < o.node
+	}
+	if e.from != o.from {
+		return e.from < o.from
+	}
+	if e.msgSeq != o.msgSeq {
+		return e.msgSeq < o.msgSeq
+	}
+	if e.timerID != o.timerID {
+		return e.timerID < o.timerID
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue is a binary heap of events implementing container/heap.
+type eventQueue struct {
+	items []*event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool { return q.items[i].less(q.items[j]) }
+
+func (q *eventQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("sim: push of non-event")
+	}
+	ev.index = len(q.items)
+	q.items = append(q.items, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return ev
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// Runtime is a node's interface to the simulated world during callbacks. It
+// deliberately exposes no real-time information: everything a node can learn
+// is its hardware clock, the static network parameters, and its messages.
+type Runtime struct {
+	sim   *state
+	id    int
+	hwNow rat.Rat
+	decls []logicalDecl
+}
+
+// ID returns this node's index.
+func (rt *Runtime) ID() int { return rt.id }
+
+// N returns the number of nodes.
+func (rt *Runtime) N() int { return rt.sim.cfg.Net.N() }
+
+// Neighbors returns this node's gossip neighbors. The caller must not modify
+// the returned slice.
+func (rt *Runtime) Neighbors() []int { return rt.sim.cfg.Net.Neighbors(rt.id) }
+
+// Dist returns the message delay uncertainty to node j (static knowledge in
+// the model).
+func (rt *Runtime) Dist(j int) rat.Rat { return rt.sim.cfg.Net.Dist(rt.id, j) }
+
+// Rho returns the hardware drift bound ρ (static knowledge in the model).
+func (rt *Runtime) Rho() rat.Rat { return rt.sim.cfg.Rho }
+
+// HW returns the node's current hardware-clock reading.
+func (rt *Runtime) HW() rat.Rat { return rt.hwNow }
+
+// Logical returns the node's current logical-clock value per its latest
+// declaration.
+func (rt *Runtime) Logical() rat.Rat {
+	d := rt.decls[len(rt.decls)-1]
+	return d.Value.Add(d.Mult.Mul(rt.hwNow.Sub(d.HW0)))
+}
+
+// LogicalMult returns the multiplier of the latest declaration.
+func (rt *Runtime) LogicalMult() rat.Rat { return rt.decls[len(rt.decls)-1].Mult }
+
+// SetLogical declares the node's logical clock: from the current hardware
+// reading H₀ on, L(H) = value + mult·(H − H₀). mult must be >= 0.
+// Requirement 1 of the paper (validity) additionally demands effective rate
+// >= 1/2 and no downward jumps; the validity checker in internal/core
+// verifies that post hoc rather than restricting algorithms a priori.
+func (rt *Runtime) SetLogical(value, mult rat.Rat) {
+	if mult.Sign() < 0 {
+		rt.sim.fail(fmt.Errorf("sim: node %d declared negative logical multiplier %s", rt.id, mult))
+		return
+	}
+	rt.decls = append(rt.decls, logicalDecl{Real: rt.sim.now, HW0: rt.hwNow, Value: value, Mult: mult})
+}
+
+// Send transmits msg to node `to`. The adversary assigns the delay.
+func (rt *Runtime) Send(to int, msg Message) {
+	s := rt.sim
+	if to < 0 || to >= rt.N() || to == rt.id {
+		s.fail(fmt.Errorf("sim: node %d sends to invalid node %d", rt.id, to))
+		return
+	}
+	if msg == nil {
+		s.fail(fmt.Errorf("sim: node %d sends nil message", rt.id))
+		return
+	}
+	pair := [2]int{rt.id, to}
+	seq := s.pairSeq[pair]
+	s.pairSeq[pair] = seq + 1
+	bound := s.cfg.Net.Dist(rt.id, to)
+	delay := s.cfg.Adversary.Delay(rt.id, to, seq, s.now, bound)
+	if delay.Sign() < 0 || delay.Greater(bound) {
+		s.fail(fmt.Errorf("sim: adversary delay %s for %d→%d (seq %d) outside [0, %s]",
+			delay, rt.id, to, seq, bound))
+		return
+	}
+	recv := s.now.Add(delay)
+	key := trace.MsgKey{From: rt.id, To: to, Seq: seq}
+	s.ledger[key] = trace.MsgRecord{
+		Key:      key,
+		SendReal: s.now,
+		Delay:    delay,
+		Payload:  msg.MsgString(),
+	}
+	s.record(trace.Action{Node: rt.id, Kind: trace.KindSend, Real: s.now, HW: rt.hwNow,
+		Peer: to, MsgSeq: seq, Payload: msg.MsgString()})
+	heap.Push(&s.queue, &event{
+		time:    recv,
+		kind:    trace.KindRecv,
+		node:    to,
+		from:    rt.id,
+		msgSeq:  seq,
+		payload: msg,
+		seq:     s.nextSeq(),
+	})
+}
+
+// SetTimerAtHW schedules OnTimer(timerID) to fire when this node's hardware
+// clock reads hw, which must be >= the current reading.
+func (rt *Runtime) SetTimerAtHW(hw rat.Rat, timerID int) {
+	s := rt.sim
+	if hw.Less(rt.hwNow) {
+		s.fail(fmt.Errorf("sim: node %d sets timer at hardware time %s < current %s", rt.id, hw, rt.hwNow))
+		return
+	}
+	real, err := s.cfg.Schedules[rt.id].RealAt(hw)
+	if err != nil {
+		s.fail(fmt.Errorf("sim: node %d timer: %w", rt.id, err))
+		return
+	}
+	heap.Push(&s.queue, &event{
+		time:    real,
+		kind:    trace.KindTimer,
+		node:    rt.id,
+		from:    -1,
+		timerID: timerID,
+		seq:     s.nextSeq(),
+	})
+}

@@ -1,0 +1,245 @@
+// Package trace records executions of the simulated timed-automaton system
+// and implements the indistinguishability comparison at the heart of the
+// Fan & Lynch lower-bound arguments.
+//
+// An Execution holds, for every node, the ordered sequence of actions it
+// observed (init, timer firings, message receipts, sends), each stamped with
+// both the real time and the node's hardware-clock reading, plus the
+// compiled hardware and logical clocks as exact piecewise-linear functions
+// of real time, and a ledger of every message with its realized delay.
+//
+// The paper's indistinguishability principle (§3): if the same actions occur
+// in the same per-node order at the same hardware-clock readings in two
+// executions, every node behaves identically in both. CheckIndistinguishable
+// verifies exactly that property between a constructed execution and its
+// original, which is what makes the Add Skew and Bounded Increase
+// constructions checkable rather than merely asserted.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gcs/internal/clock"
+	"gcs/internal/network"
+	"gcs/internal/piecewise"
+	"gcs/internal/rat"
+)
+
+// Kind classifies node actions.
+type Kind int
+
+// Action kinds. Recv sorts before Timer at equal times in the simulator's
+// deterministic event order.
+const (
+	KindInit Kind = iota + 1
+	KindRecv
+	KindTimer
+	KindSend
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInit:
+		return "init"
+	case KindRecv:
+		return "recv"
+	case KindTimer:
+		return "timer"
+	case KindSend:
+		return "send"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Action is one observable step at one node.
+type Action struct {
+	Node    int
+	Kind    Kind
+	Real    rat.Rat // real time of occurrence (adversary-visible only)
+	HW      rat.Rat // the node's hardware reading at occurrence (node-visible)
+	Peer    int     // sender (Recv) or destination (Send); -1 otherwise
+	MsgSeq  uint64  // ordinal of the message on its ordered pair (Recv/Send)
+	TimerID int     // Timer only
+	Payload string  // canonical message string (Recv/Send)
+}
+
+// observation is the node-visible part of an Action, used for
+// indistinguishability. Built with strconv: it runs once per action per
+// check over whole executions.
+func (a Action) observation() string {
+	var b strings.Builder
+	b.Grow(32 + len(a.Payload))
+	b.WriteString(a.Kind.String())
+	b.WriteString("|hw=")
+	b.WriteString(a.HW.String())
+	b.WriteString("|peer=")
+	b.WriteString(strconv.Itoa(a.Peer))
+	b.WriteString("|mseq=")
+	b.WriteString(strconv.FormatUint(a.MsgSeq, 10))
+	b.WriteString("|timer=")
+	b.WriteString(strconv.Itoa(a.TimerID))
+	b.WriteByte('|')
+	b.WriteString(a.Payload)
+	return b.String()
+}
+
+// MsgKey identifies the seq-th message sent from From to To in an execution.
+type MsgKey struct {
+	From, To int
+	Seq      uint64
+}
+
+// MsgRecord is a ledger entry for one message.
+type MsgRecord struct {
+	Key       MsgKey
+	SendReal  rat.Rat
+	RecvReal  rat.Rat // meaningful only when Delivered
+	Delay     rat.Rat
+	Payload   string
+	Delivered bool // received within the execution horizon
+}
+
+// Execution is a completed run.
+type Execution struct {
+	Net       *network.Network
+	Schedules []*clock.Schedule
+	Duration  rat.Rat
+	Actions   []Action // in processing order
+	PerNode   [][]int  // indices into Actions, per node
+	Ledger    map[MsgKey]MsgRecord
+	Logical   []*piecewise.PLF // per-node logical clock over real time
+	Hardware  []*piecewise.PLF // per-node hardware clock over real time
+}
+
+// N returns the number of nodes.
+func (e *Execution) N() int { return e.Net.N() }
+
+// LogicalAt returns L_i(t).
+func (e *Execution) LogicalAt(i int, t rat.Rat) rat.Rat { return e.Logical[i].Eval(t) }
+
+// HWAt returns H_i(t).
+func (e *Execution) HWAt(i int, t rat.Rat) rat.Rat { return e.Schedules[i].HW(t) }
+
+// FinalSkew returns L_i(duration) − L_j(duration).
+func (e *Execution) FinalSkew(i, j int) rat.Rat {
+	return e.LogicalAt(i, e.Duration).Sub(e.LogicalAt(j, e.Duration))
+}
+
+// MaxAbsSkew returns the maximum of |L_i − L_j| over [from, to].
+func (e *Execution) MaxAbsSkew(i, j int, from, to rat.Rat) piecewise.Extremum {
+	return piecewise.MaxAbsDiff(e.Logical[i], e.Logical[j], from, to)
+}
+
+// NodeActions returns node i's actions in order.
+func (e *Execution) NodeActions(i int) []Action {
+	out := make([]Action, len(e.PerNode[i]))
+	for k, idx := range e.PerNode[i] {
+		out[k] = e.Actions[idx]
+	}
+	return out
+}
+
+// CheckIndistinguishable verifies that beta is indistinguishable from alpha
+// to every node, in the sense of §3 of the paper, up to beta's horizon:
+// for every node i, the sequence of actions i observes in beta must match,
+// action for action and hardware reading for hardware reading, the prefix of
+// i's actions in alpha with hardware readings ≤ H_i^β(ℓ(β)); and beta must
+// contain that entire prefix (no missing actions).
+func CheckIndistinguishable(alpha, beta *Execution) error {
+	if alpha.N() != beta.N() {
+		return fmt.Errorf("trace: node counts differ: %d vs %d", alpha.N(), beta.N())
+	}
+	for i := 0; i < alpha.N(); i++ {
+		horizon := beta.HWAt(i, beta.Duration)
+		av := alpha.NodeActions(i)
+		bv := beta.NodeActions(i)
+		// The alpha prefix visible within beta's horizon.
+		var aPrefix []Action
+		for _, a := range av {
+			if a.HW.LessEq(horizon) {
+				aPrefix = append(aPrefix, a)
+			}
+		}
+		if len(aPrefix) != len(bv) {
+			return fmt.Errorf("trace: node %d observes %d actions in beta, want %d (horizon H=%s)",
+				i, len(bv), len(aPrefix), horizon)
+		}
+		for k := range bv {
+			if ao, bo := aPrefix[k].observation(), bv[k].observation(); ao != bo {
+				return fmt.Errorf("trace: node %d action %d differs:\n  alpha: %s\n  beta:  %s", i, k, ao, bo)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDelayBounds verifies every delivered message's delay lies within
+// [lo·d(i,j), hi·d(i,j)] for messages received in the real-time window
+// (from, to]. The Add Skew lemma both assumes such bounds on α's suffix
+// (lo = hi = 1/2) and guarantees them on β ([1/4, 3/4]).
+func CheckDelayBounds(e *Execution, from, to, lo, hi rat.Rat) error {
+	for key, rec := range e.Ledger {
+		if !rec.Delivered {
+			continue
+		}
+		if rec.RecvReal.LessEq(from) || rec.RecvReal.Greater(to) {
+			continue
+		}
+		d := e.Net.Dist(key.From, key.To)
+		if rec.Delay.Less(lo.Mul(d)) || rec.Delay.Greater(hi.Mul(d)) {
+			return fmt.Errorf("trace: message %v delay %s outside [%s, %s]·%s",
+				key, rec.Delay, lo, hi, d)
+		}
+	}
+	return nil
+}
+
+// CheckRateBounds verifies every node's hardware rate lies within [lo, hi]
+// during [from, to].
+func CheckRateBounds(e *Execution, from, to, lo, hi rat.Rat) error {
+	for i, s := range e.Schedules {
+		if err := s.ValidateRange(from, to, lo, hi); err != nil {
+			return fmt.Errorf("trace: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PrefixEqual verifies that two executions are identical (same actions, same
+// real times, same per-node order) up to real time t. Used to confirm that
+// the main-theorem extension α_{k+1} really extends β_k without perturbing
+// its past.
+func PrefixEqual(a, b *Execution, t rat.Rat) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("trace: node counts differ: %d vs %d", a.N(), b.N())
+	}
+	for i := 0; i < a.N(); i++ {
+		av := a.NodeActions(i)
+		bv := b.NodeActions(i)
+		var af, bf []Action
+		for _, x := range av {
+			if x.Real.LessEq(t) {
+				af = append(af, x)
+			}
+		}
+		for _, x := range bv {
+			if x.Real.LessEq(t) {
+				bf = append(bf, x)
+			}
+		}
+		if len(af) != len(bf) {
+			return fmt.Errorf("trace: node %d has %d vs %d actions before %s", i, len(af), len(bf), t)
+		}
+		for k := range af {
+			if af[k].observation() != bf[k].observation() || !af[k].Real.Equal(bf[k].Real) {
+				return fmt.Errorf("trace: node %d action %d differs before %s:\n  a: %s @%s\n  b: %s @%s",
+					i, k, t, af[k].observation(), af[k].Real, bf[k].observation(), bf[k].Real)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+// Package workload implements the sensor-network application scenarios that
+// motivate gradient clock synchronization in §1 of Fan & Lynch (PODC 2004):
+// data fusion, target tracking, and TDMA scheduling. Each scenario consumes
+// a recorded execution and reports how the application-level error relates
+// to clock skew.
+package workload
+
+import (
+	"fmt"
+
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// ---- Data fusion (Qi et al., §1 of the paper) ----
+
+// BinaryFusionTree returns a parent vector for a balanced binary fusion tree
+// over nodes 0..n-1: node i's parent is (i-1)/2, node 0 is the root
+// (parent -1). In the fusion workload, the children of a common parent must
+// have well-synchronized clocks so their timestamped readings fuse
+// consistently; distant subtrees never compare timestamps directly.
+func BinaryFusionTree(n int) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = (i - 1) / 2
+	}
+	return parent
+}
+
+// SiblingSkew is the worst observed skew among one parent's children.
+type SiblingSkew struct {
+	Parent   int
+	Children []int
+	MaxSkew  rat.Rat
+	At       rat.Rat
+}
+
+// FusionReport summarizes fusion consistency for a whole tree.
+type FusionReport struct {
+	// Worst is the sibling group with the largest internal skew: the fusion
+	// error bound for timestamped readings.
+	Worst SiblingSkew
+	// Groups is the number of sibling groups examined.
+	Groups int
+	// GlobalSkew is the worst skew across all node pairs, for contrast: the
+	// gradient property makes Worst.MaxSkew ≪ GlobalSkew.
+	GlobalSkew rat.Rat
+}
+
+// FusionConsistency computes sibling skews for the given parent vector over
+// the full execution.
+func FusionConsistency(e *trace.Execution, parent []int) (FusionReport, error) {
+	n := e.N()
+	if len(parent) != n {
+		return FusionReport{}, fmt.Errorf("workload: parent vector size %d != %d nodes", len(parent), n)
+	}
+	children := map[int][]int{}
+	for i, p := range parent {
+		if p == -1 {
+			continue
+		}
+		if p < 0 || p >= n || p == i {
+			return FusionReport{}, fmt.Errorf("workload: invalid parent %d for node %d", p, i)
+		}
+		children[p] = append(children[p], i)
+	}
+	var rep FusionReport
+	first := true
+	for p, kids := range children {
+		if len(kids) < 2 {
+			continue
+		}
+		rep.Groups++
+		var worst rat.Rat
+		var at rat.Rat
+		for a := 0; a < len(kids); a++ {
+			for b := a + 1; b < len(kids); b++ {
+				ext := e.MaxAbsSkew(kids[a], kids[b], rat.Rat{}, e.Duration)
+				if ext.Val.Greater(worst) {
+					worst, at = ext.Val, ext.At
+				}
+			}
+		}
+		if first || worst.Greater(rep.Worst.MaxSkew) {
+			first = false
+			rep.Worst = SiblingSkew{Parent: p, Children: kids, MaxSkew: worst, At: at}
+		}
+	}
+	// Global contrast.
+	e.Net.Pairs(func(i, j int) {
+		ext := e.MaxAbsSkew(i, j, rat.Rat{}, e.Duration)
+		if ext.Val.Greater(rep.GlobalSkew) {
+			rep.GlobalSkew = ext.Val
+		}
+	})
+	return rep, nil
+}
+
+// ---- Target tracking (§1 of the paper) ----
+
+// TrackingConfig describes one object transit between two sensors.
+type TrackingConfig struct {
+	// I, J are the sensor nodes; the object passes I first.
+	I, J int
+	// CrossAt is the real time the object passes sensor I.
+	CrossAt rat.Rat
+	// Speed is the object's true speed; the transit time to J is
+	// dist(I,J)/Speed. (Euclidean distance is identified with message-delay
+	// distance, as in the paper's footnote 2.)
+	Speed rat.Rat
+}
+
+// TrackingReport compares the velocity estimated from logical timestamps to
+// the truth.
+type TrackingReport struct {
+	Dist       rat.Rat
+	TrueDT     rat.Rat // real transit time
+	MeasuredDT rat.Rat // L_J(arrival) − L_I(departure)
+	TrueSpeed  rat.Rat
+	// EstSpeed = Dist/MeasuredDT (zero if MeasuredDT ≤ 0 — skew larger than
+	// the transit time makes the estimate meaningless).
+	EstSpeed rat.Rat
+	// ErrPct = |EstSpeed − TrueSpeed| / TrueSpeed × 100.
+	ErrPct float64
+}
+
+// Tracking evaluates the velocity-estimation error for one transit: the
+// paper's point is that a fixed clock skew ε produces speed error
+// ε/(Δt ± ε), so the farther apart the sensors, the more skew is tolerable —
+// the acceptable skew forms a gradient in distance.
+func Tracking(e *trace.Execution, cfg TrackingConfig) (TrackingReport, error) {
+	n := e.N()
+	if cfg.I < 0 || cfg.I >= n || cfg.J < 0 || cfg.J >= n || cfg.I == cfg.J {
+		return TrackingReport{}, fmt.Errorf("workload: invalid sensor pair (%d,%d)", cfg.I, cfg.J)
+	}
+	if cfg.Speed.Sign() <= 0 {
+		return TrackingReport{}, fmt.Errorf("workload: speed %s not positive", cfg.Speed)
+	}
+	dist := e.Net.Dist(cfg.I, cfg.J)
+	trueDT := dist.Div(cfg.Speed)
+	arrive := cfg.CrossAt.Add(trueDT)
+	if cfg.CrossAt.Sign() < 0 || arrive.Greater(e.Duration) {
+		return TrackingReport{}, fmt.Errorf("workload: transit [%s, %s] outside execution", cfg.CrossAt, arrive)
+	}
+	rep := TrackingReport{
+		Dist:      dist,
+		TrueDT:    trueDT,
+		TrueSpeed: cfg.Speed,
+	}
+	rep.MeasuredDT = e.LogicalAt(cfg.J, arrive).Sub(e.LogicalAt(cfg.I, cfg.CrossAt))
+	if rep.MeasuredDT.Sign() > 0 {
+		rep.EstSpeed = dist.Div(rep.MeasuredDT)
+		rep.ErrPct = 100 * abs(rep.EstSpeed.Float64()-cfg.Speed.Float64()) / cfg.Speed.Float64()
+	} else {
+		rep.ErrPct = 100
+	}
+	return rep, nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// ---- TDMA (Lloyd, §1 of the paper) ----
+
+// TDMAConfig describes a slotted-transmission schedule driven by logical
+// clocks: node i transmits whenever its logical clock, modulo
+// Slots·SlotLen, falls inside slot (i mod Slots), keeping Guard time at the
+// end of the slot idle.
+type TDMAConfig struct {
+	Slots   int64
+	SlotLen rat.Rat
+	Guard   rat.Rat
+}
+
+// Validate checks the schedule shape.
+func (c TDMAConfig) Validate() error {
+	if c.Slots < 2 {
+		return fmt.Errorf("workload: %d slots < 2", c.Slots)
+	}
+	if c.SlotLen.Sign() <= 0 || c.Guard.Sign() < 0 || c.Guard.GreaterEq(c.SlotLen) {
+		return fmt.Errorf("workload: bad slot/guard (%s, %s)", c.SlotLen, c.Guard)
+	}
+	return nil
+}
+
+// TDMAReport counts real-time collision samples.
+type TDMAReport struct {
+	Samples    int
+	Violations int
+	// FirstViolation is the earliest sampled real time at which two
+	// interfering nodes transmitted concurrently (meaningful when
+	// Violations > 0).
+	FirstViolation rat.Rat
+	// ViolationFraction = Violations/Samples.
+	ViolationFraction float64
+}
+
+// TDMA samples the execution every `step` of real time and counts instants
+// at which two interfering nodes (gossip neighbors, or nodes at distance
+// ≤ 2) transmit concurrently. Collisions appear exactly when logical skew
+// between interfering nodes exceeds the guard band — the paper's argument
+// that fixed-granularity TDMA cannot scale without the gradient property.
+func TDMA(e *trace.Execution, cfg TDMAConfig, step rat.Rat) (TDMAReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return TDMAReport{}, err
+	}
+	if step.Sign() <= 0 {
+		return TDMAReport{}, fmt.Errorf("workload: step %s not positive", step)
+	}
+	n := e.N()
+	two := rat.FromInt(2)
+	interferes := func(i, j int) bool { return e.Net.Dist(i, j).LessEq(two) }
+	frame := cfg.SlotLen.Mul(rat.FromInt(cfg.Slots))
+
+	transmitting := func(i int, t rat.Rat) bool {
+		l := e.LogicalAt(i, t)
+		// pos = l mod frame
+		q := l.Div(frame).Floor()
+		pos := l.Sub(rat.FromInt(q).Mul(frame))
+		slotStart := cfg.SlotLen.Mul(rat.FromInt(int64(i) % cfg.Slots))
+		if pos.Less(slotStart) {
+			return false
+		}
+		return pos.Less(slotStart.Add(cfg.SlotLen.Sub(cfg.Guard)))
+	}
+
+	var rep TDMAReport
+	for t := (rat.Rat{}); t.LessEq(e.Duration); t = t.Add(step) {
+		rep.Samples++
+		collided := false
+	scan:
+		for i := 0; i < n && !collided; i++ {
+			if !transmitting(i, t) {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if int64(i)%cfg.Slots != int64(j)%cfg.Slots {
+					continue // different slots never collide by schedule
+				}
+				if !interferes(i, j) {
+					continue
+				}
+				if transmitting(j, t) {
+					collided = true
+					break scan
+				}
+			}
+		}
+		if collided {
+			if rep.Violations == 0 {
+				rep.FirstViolation = t
+			}
+			rep.Violations++
+		}
+	}
+	if rep.Samples > 0 {
+		rep.ViolationFraction = float64(rep.Violations) / float64(rep.Samples)
+	}
+	return rep, nil
+}
+
+// TDMAFeasible reports whether the schedule is collision-free in the strong,
+// skew-based sense: every pair of interfering same-slot nodes keeps worst
+// observed skew below the guard band. This is the exact criterion (no
+// sampling): two same-slot interferers with skew ≤ Guard can never overlap,
+// because each transmits only in the first SlotLen − Guard of its own
+// logical slot.
+func TDMAFeasible(e *trace.Execution, cfg TDMAConfig) (bool, rat.Rat, error) {
+	if err := cfg.Validate(); err != nil {
+		return false, rat.Rat{}, err
+	}
+	two := rat.FromInt(2)
+	worst := rat.Rat{}
+	ok := true
+	e.Net.Pairs(func(i, j int) {
+		if int64(i)%cfg.Slots != int64(j)%cfg.Slots || e.Net.Dist(i, j).Greater(two) {
+			return
+		}
+		ext := e.MaxAbsSkew(i, j, rat.Rat{}, e.Duration)
+		if ext.Val.Greater(worst) {
+			worst = ext.Val
+		}
+		if ext.Val.Greater(cfg.Guard) {
+			ok = false
+		}
+	})
+	return ok, worst, nil
+}
