@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: all build test vet bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every benchmark: regenerates each experiment's headline
+# metric plus the streaming-vs-recorded engine comparison.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -8,6 +8,7 @@ package gcs
 // the full tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"gcs/internal/experiments"
@@ -229,6 +230,85 @@ func BenchmarkGradientAblation(b *testing.B) {
 				local = LocalSkew(exec).Skew.Float64()
 			}
 			b.ReportMetric(local, "localSkew")
+		})
+	}
+}
+
+// streamBenchConfig is the shared setup for the streaming-vs-recorded
+// benchmark pair: a drifting line under the reproducible random adversary,
+// gossiping hard enough that events dominate.
+func streamBenchConfig(b *testing.B, n int, dur int64) (*Network, []*Schedule, Adversary, Protocol, Rat, Rat) {
+	b.Helper()
+	net, err := Line(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheds, err := DiverseSchedules(n, R(1), Frac(5, 4), 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, scheds, HashAdversary{Seed: 7, Denom: 8}, MaxGossip(R(1)), R(dur), Frac(1, 2)
+}
+
+// BenchmarkRunRecorded measures the batch path on a 64-node line: every
+// action and message is buffered into the Execution, so bytes/op and
+// allocs/op grow with the event count (compare the dur=32 and dur=96 runs),
+// and the skew metrics cost a further post-hoc scan of the trace.
+func BenchmarkRunRecorded(b *testing.B) {
+	for _, dur := range []int64{32, 96} {
+		dur := dur
+		b.Run(fmt.Sprintf("dur=%d", dur), func(b *testing.B) {
+			net, scheds, adv, proto, d, rho := streamBenchConfig(b, 64, dur)
+			cfg := Config{Net: net, Schedules: scheds, Adversary: adv,
+				Protocol: proto, Duration: d, Rho: rho}
+			b.ReportAllocs()
+			var events int
+			var skew float64
+			for i := 0; i < b.N; i++ {
+				exec, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = len(exec.Actions)
+				skew = GlobalSkew(exec).Skew.Float64()
+			}
+			b.ReportMetric(float64(events), "events/run")
+			b.ReportMetric(skew, "globalSkew")
+		})
+	}
+}
+
+// BenchmarkEngineStream measures the same runs through the streaming engine
+// with online trackers: no trace is retained, so memory per run is bounded
+// by the O(nodes²) tracker state however long the run — the trajectory to
+// watch is allocs/op against events/run between the dur=32 and dur=96 runs,
+// versus BenchmarkRunRecorded's.
+func BenchmarkEngineStream(b *testing.B) {
+	for _, dur := range []int64{32, 96} {
+		dur := dur
+		b.Run(fmt.Sprintf("dur=%d", dur), func(b *testing.B) {
+			net, scheds, adv, proto, d, rho := streamBenchConfig(b, 64, dur)
+			b.ReportAllocs()
+			var events uint64
+			var skew float64
+			for i := 0; i < b.N; i++ {
+				tracker, err := NewSkewTracker(net, scheds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := NewEngine(net, WithProtocol(proto), WithAdversary(adv),
+					WithSchedules(scheds), WithRho(rho), WithObservers(tracker))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.RunUntil(d); err != nil {
+					b.Fatal(err)
+				}
+				events = eng.Steps()
+				skew = tracker.Global().Skew.Float64()
+			}
+			b.ReportMetric(float64(events), "events/run")
+			b.ReportMetric(skew, "globalSkew")
 		})
 	}
 }

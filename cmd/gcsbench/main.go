@@ -1,12 +1,18 @@
 // Command gcsbench regenerates every experiment table of the reproduction
-// (E1–E11 plus the Figure 1 rendering). See DESIGN.md §4 for the experiment
-// index and EXPERIMENTS.md for the paper-vs-measured record.
+// (E1–E11 plus the Figure 1 rendering, and the E12 streaming scale sweep).
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record.
 //
 // Usage:
 //
 //	gcsbench            # the standard suite (seconds)
 //	gcsbench -long      # extended sweeps (minutes; larger diameters)
-//	gcsbench -only E4   # one experiment (E1..E11)
+//	gcsbench -only E4   # one experiment (E1..E12)
+//	gcsbench -stream    # E12 only: online skew metrics on large lines
+//
+// Output is buffered and printed only when the requested experiments all
+// succeed; on failure nothing but the error (on stderr, exit 1) is emitted,
+// so a partial table can never be mistaken for a complete run.
 package main
 
 import (
@@ -17,134 +23,217 @@ import (
 
 	"gcs/internal/algorithms"
 	"gcs/internal/experiments"
+	"gcs/internal/rat"
+	"gcs/internal/sim"
 )
 
 func main() {
 	long := flag.Bool("long", false, "extended sweeps (larger diameters; minutes)")
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	only := flag.String("only", "", "run a single experiment (E1..E12)")
+	stream := flag.Bool("stream", false, "run only the E12 streaming scale sweep")
 	flag.Parse()
-	if err := run(*long, strings.ToUpper(*only)); err != nil {
+	out, err := run(*long, strings.ToUpper(*only), *stream)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcsbench:", err)
 		os.Exit(1)
 	}
+	fmt.Print(out)
 }
 
-func run(long bool, only string) error {
-	protos := algorithms.All()
-	want := func(id string) bool { return only == "" || only == id }
+// experiment binds an -only id to its runner: the accepted id set and the
+// dispatch are the same data, so they cannot drift apart.
+type experiment struct {
+	id  string
+	run func(protos []sim.Protocol, long bool) (string, error)
+}
 
-	if want("E1") {
-		opt := experiments.DefaultE1(protos)
-		if long {
-			opt.Distances = append(opt.Distances, 64, 128)
+// suite lists every experiment in output order (E11 reports seed stability
+// before the E10 topology sweep, as in the reproduction index).
+var suite = []experiment{
+	{"E1", runE1},
+	{"E2", runE2},
+	{"E3", runE3},
+	{"E4", runE4},
+	{"E5", runE5},
+	{"E6", runE6},
+	{"E7", runE7},
+	{"E8", runE8},
+	{"E9", runE9},
+	{"E11", runE11},
+	{"E10", runE10},
+	{"E12", runE12},
+}
+
+func run(long bool, only string, stream bool) (string, error) {
+	if stream {
+		if only != "" && only != "E12" {
+			return "", fmt.Errorf("-stream runs only E12, but -only %s was requested", only)
 		}
-		_, table, err := experiments.E1Shift(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+		only = "E12"
 	}
-	if want("E2") {
-		opt := experiments.DefaultE2(protos)
-		if long {
-			opt.Lines = append(opt.Lines, 65, 129)
+	if only != "" {
+		found := false
+		for _, e := range suite {
+			if e.id == only {
+				found = true
+				break
+			}
 		}
-		_, table, figure, err := experiments.E2AddSkew(opt)
-		if err != nil {
-			return err
+		if !found {
+			return "", fmt.Errorf("unknown experiment %q (want E1..E12)", only)
 		}
-		fmt.Println(table.Render())
-		fmt.Println("-- F1: Figure 1 (β rate schedule of the Add Skew lemma) --")
-		fmt.Println(figure)
 	}
-	if want("E3") {
-		opt := experiments.DefaultE3(protos)
-		_, table, err := experiments.E3BoundedIncrease(opt)
+	protos := algorithms.All()
+	var b strings.Builder
+	for _, e := range suite {
+		if only != "" && e.id != only {
+			continue
+		}
+		out, err := e.run(protos, long)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(table.Render())
+		b.WriteString(out)
 	}
-	if want("E4") {
-		opt := experiments.DefaultE4(protos)
-		if long {
-			opt.RoundsList = append(opt.RoundsList, 4)
-		}
-		_, table, err := experiments.E4MainTheorem(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+	return b.String(), nil
+}
+
+func runE1(protos []sim.Protocol, long bool) (string, error) {
+	opt := experiments.DefaultE1(protos)
+	if long {
+		opt.Distances = append(opt.Distances, 64, 128)
 	}
-	if want("E5") {
-		opt := experiments.DefaultE5(protos)
-		if long {
-			opt.Dcs = append(opt.Dcs, 128)
-		}
-		_, table, err := experiments.E5Counterexample(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+	_, table, err := experiments.E1Shift(opt)
+	if err != nil {
+		return "", err
 	}
-	if want("E6") {
-		opt := experiments.DefaultE6(protos)
-		if long {
-			opt.N = 33
-			opt.Distances = append(opt.Distances, 32)
-		}
-		_, table, err := experiments.E6Profiles(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+	return table.Render() + "\n", nil
+}
+
+func runE2(protos []sim.Protocol, long bool) (string, error) {
+	opt := experiments.DefaultE2(protos)
+	if long {
+		opt.Lines = append(opt.Lines, 65, 129)
 	}
-	if want("E7") {
-		opt := experiments.DefaultE7(protos)
-		if long {
-			opt.Diameters = append(opt.Diameters, 64)
-		}
-		_, table, err := experiments.E7TDMA(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+	_, table, figure, err := experiments.E2AddSkew(opt)
+	if err != nil {
+		return "", err
 	}
-	if want("E8") {
-		opt := experiments.DefaultE8(protos)
-		_, table, err := experiments.E8Applications(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+	return table.Render() + "\n" +
+		"-- F1: Figure 1 (β rate schedule of the Add Skew lemma) --\n" +
+		figure + "\n", nil
+}
+
+func runE3(protos []sim.Protocol, _ bool) (string, error) {
+	opt := experiments.DefaultE3(protos)
+	_, table, err := experiments.E3BoundedIncrease(opt)
+	if err != nil {
+		return "", err
 	}
-	if want("E9") {
-		opt := experiments.DefaultE9()
-		_, _, gt, ct, err := experiments.E9Ablations(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(gt.Render())
-		fmt.Println(ct.Render())
+	return table.Render() + "\n", nil
+}
+
+func runE4(protos []sim.Protocol, long bool) (string, error) {
+	opt := experiments.DefaultE4(protos)
+	if long {
+		opt.RoundsList = append(opt.RoundsList, 4)
 	}
-	if want("E11") {
-		opt := experiments.DefaultE11(protos)
-		if long {
-			opt.Seeds = append(opt.Seeds, 55, 89, 144, 233)
-		}
-		_, table, err := experiments.E11Seeds(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+	_, table, err := experiments.E4MainTheorem(opt)
+	if err != nil {
+		return "", err
 	}
-	if want("E10") {
-		opt := experiments.DefaultE10(protos)
-		_, table, err := experiments.E10Topologies(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table.Render())
+	return table.Render() + "\n", nil
+}
+
+func runE5(protos []sim.Protocol, long bool) (string, error) {
+	opt := experiments.DefaultE5(protos)
+	if long {
+		opt.Dcs = append(opt.Dcs, 128)
 	}
-	return nil
+	_, table, err := experiments.E5Counterexample(opt)
+	if err != nil {
+		return "", err
+	}
+	return table.Render() + "\n", nil
+}
+
+func runE6(protos []sim.Protocol, long bool) (string, error) {
+	opt := experiments.DefaultE6(protos)
+	if long {
+		opt.N = 33
+		opt.Distances = append(opt.Distances, 32)
+	}
+	_, table, err := experiments.E6Profiles(opt)
+	if err != nil {
+		return "", err
+	}
+	return table.Render() + "\n", nil
+}
+
+func runE7(protos []sim.Protocol, long bool) (string, error) {
+	opt := experiments.DefaultE7(protos)
+	if long {
+		opt.Diameters = append(opt.Diameters, 64)
+	}
+	_, table, err := experiments.E7TDMA(opt)
+	if err != nil {
+		return "", err
+	}
+	return table.Render() + "\n", nil
+}
+
+func runE8(protos []sim.Protocol, _ bool) (string, error) {
+	opt := experiments.DefaultE8(protos)
+	_, table, err := experiments.E8Applications(opt)
+	if err != nil {
+		return "", err
+	}
+	return table.Render() + "\n", nil
+}
+
+func runE9(_ []sim.Protocol, _ bool) (string, error) {
+	opt := experiments.DefaultE9()
+	_, _, gt, ct, err := experiments.E9Ablations(opt)
+	if err != nil {
+		return "", err
+	}
+	return gt.Render() + "\n" + ct.Render() + "\n", nil
+}
+
+func runE10(protos []sim.Protocol, _ bool) (string, error) {
+	opt := experiments.DefaultE10(protos)
+	_, table, err := experiments.E10Topologies(opt)
+	if err != nil {
+		return "", err
+	}
+	return table.Render() + "\n", nil
+}
+
+func runE11(protos []sim.Protocol, long bool) (string, error) {
+	opt := experiments.DefaultE11(protos)
+	if long {
+		opt.Seeds = append(opt.Seeds, 55, 89, 144, 233)
+	}
+	_, table, err := experiments.E11Seeds(opt)
+	if err != nil {
+		return "", err
+	}
+	return table.Render() + "\n", nil
+}
+
+func runE12(_ []sim.Protocol, long bool) (string, error) {
+	// Streaming scale: the max-based strawman vs the gradient algorithm.
+	opt := experiments.DefaultE12([]sim.Protocol{
+		algorithms.MaxGossip(rat.FromInt(1)),
+		algorithms.Gradient(algorithms.DefaultGradientParams()),
+	})
+	if long {
+		opt.Sizes = append(opt.Sizes, 257)
+		opt.Duration = opt.Duration.Add(opt.Duration)
+	}
+	_, table, err := experiments.E12StreamScale(opt)
+	if err != nil {
+		return "", err
+	}
+	return table.Render() + "\n", nil
 }

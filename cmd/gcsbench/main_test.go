@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestSingleExperiments exercises the fast experiments end to end through
 // the CLI path. (E4 and the full suite are covered by the root benchmarks.)
@@ -8,16 +11,42 @@ func TestSingleExperiments(t *testing.T) {
 	for _, id := range []string{"E1", "E3", "E5"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			if err := run(false, id); err != nil {
+			out, err := run(false, id, false)
+			if err != nil {
 				t.Fatal(err)
+			}
+			if !strings.Contains(out, "== "+id+":") {
+				t.Fatalf("output missing %s table:\n%s", id, out)
 			}
 		})
 	}
 }
 
-func TestUnknownExperimentIsNoop(t *testing.T) {
-	// An unmatched -only filter runs nothing and succeeds.
-	if err := run(false, "E99"); err != nil {
+// TestUnknownExperimentErrors: a typo'd -only filter must fail loudly
+// instead of silently running nothing and exiting 0.
+func TestUnknownExperimentErrors(t *testing.T) {
+	if _, err := run(false, "E99", false); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestStreamMode runs the E12 streaming sweep (small sizes keep it fast).
+func TestStreamMode(t *testing.T) {
+	out, err := run(false, "", true)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== E12:") {
+		t.Fatalf("stream mode output missing E12 table:\n%s", out)
+	}
+	if strings.Contains(out, "== E1:") {
+		t.Fatal("stream mode ran non-streaming experiments")
+	}
+}
+
+// TestStreamOnlyConflict: -stream with a different -only is contradictory.
+func TestStreamOnlyConflict(t *testing.T) {
+	if _, err := run(false, "E3", true); err == nil {
+		t.Fatal("conflicting -stream and -only should error")
 	}
 }

@@ -5,6 +5,13 @@
 //
 //	gcssim -proto gradient -topology line -n 17 -dur 50 -profile
 //	gcssim -proto max-gossip -topology grid -n 16 -adversary random -seed 3
+//	gcssim -stream -proto gradient -topology line -n 257 -dur 200
+//
+// The default mode records the full execution and runs the post-hoc
+// checkers. -stream drives the incremental engine with online trackers
+// instead: no trace is retained, so networks and durations far beyond what
+// the recorded path can hold in memory report the same skew metrics.
+// (-chart needs the recorded clocks and is unavailable with -stream.)
 package main
 
 import (
@@ -15,10 +22,12 @@ import (
 	"gcs/internal/algorithms"
 	"gcs/internal/clock"
 	"gcs/internal/core"
+	"gcs/internal/engine"
 	"gcs/internal/network"
 	"gcs/internal/plot"
 	"gcs/internal/rat"
 	"gcs/internal/sim"
+	"gcs/internal/trace"
 )
 
 func main() {
@@ -32,85 +41,106 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "seed for the random adversary")
 		fastEnd   = flag.Bool("fastend", true, "run node 0 at 1+ρ/2 for drift pressure")
 		profile   = flag.Bool("profile", false, "print the empirical gradient profile f̂(d)")
-		chart     = flag.Bool("chart", false, "plot worst-pair and worst-adjacent skew over time")
+		chart     = flag.Bool("chart", false, "plot worst-pair and worst-adjacent skew over time (recorded mode only)")
+		stream    = flag.Bool("stream", false, "stream the run through online trackers instead of recording a trace")
 	)
 	flag.Parse()
-	if err := run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd, *profile, *chart); err != nil {
+	if err := run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd, *profile, *chart, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "gcssim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed uint64, fastEnd, profile, chart bool) error {
+func buildNetwork(topology string, n int, seed uint64) (*network.Network, error) {
+	switch topology {
+	case "line":
+		return network.Line(n)
+	case "ring":
+		return network.Ring(n)
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return network.Grid2D(side, side)
+	case "star":
+		return network.Star(n, rat.FromInt(1))
+	case "complete":
+		return network.Complete(n, rat.FromInt(1))
+	case "rgg":
+		return network.RandomGeometric(n, 10, 4.5, int64(seed))
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+}
+
+func buildProtocol(protoName string) (sim.Protocol, error) {
+	switch protoName {
+	case "null":
+		return algorithms.Null(), nil
+	case "max-gossip":
+		return algorithms.MaxGossip(rat.FromInt(1)), nil
+	case "max-flood":
+		return algorithms.MaxFlood(rat.FromInt(1)), nil
+	case "bounded-max":
+		return algorithms.BoundedMax(rat.FromInt(1), rat.FromInt(1)), nil
+	case "gradient":
+		return algorithms.Gradient(algorithms.DefaultGradientParams()), nil
+	case "llw":
+		return algorithms.LLW(algorithms.DefaultLLWParams()), nil
+	case "root-sync":
+		return algorithms.RootSync(rat.FromInt(1), 0), nil
+	case "rbs":
+		return algorithms.RBS(rat.FromInt(2), 0), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", protoName)
+	}
+}
+
+func buildAdversary(advName string, seed uint64) (sim.Adversary, error) {
+	switch advName {
+	case "midpoint":
+		return sim.Midpoint(), nil
+	case "zero":
+		return sim.FractionAdversary{Frac: rat.Rat{}}, nil
+	case "max":
+		return sim.FractionAdversary{Frac: rat.FromInt(1)}, nil
+	case "random":
+		return sim.HashAdversary{Seed: seed, Denom: 8}, nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", advName)
+	}
+}
+
+func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed uint64, fastEnd, profile, chart, stream bool) error {
+	if stream && chart {
+		return fmt.Errorf("-chart needs the recorded clocks; drop -chart or run without -stream")
+	}
 	dur, err := rat.Parse(durStr)
 	if err != nil {
 		return fmt.Errorf("duration: %w", err)
+	}
+	if dur.Sign() <= 0 {
+		return fmt.Errorf("non-positive duration %s", dur)
 	}
 	rho, err := rat.Parse(rhoStr)
 	if err != nil {
 		return fmt.Errorf("rho: %w", err)
 	}
 
-	var net *network.Network
-	switch topology {
-	case "line":
-		net, err = network.Line(n)
-	case "ring":
-		net, err = network.Ring(n)
-	case "grid":
-		side := 1
-		for (side+1)*(side+1) <= n {
-			side++
-		}
-		net, err = network.Grid2D(side, side)
-	case "star":
-		net, err = network.Star(n, rat.FromInt(1))
-	case "complete":
-		net, err = network.Complete(n, rat.FromInt(1))
-	case "rgg":
-		net, err = network.RandomGeometric(n, 10, 4.5, int64(seed))
-	default:
-		return fmt.Errorf("unknown topology %q", topology)
-	}
+	net, err := buildNetwork(topology, n, seed)
 	if err != nil {
 		return err
 	}
 	n = net.N()
 
-	var proto sim.Protocol
-	switch protoName {
-	case "null":
-		proto = algorithms.Null()
-	case "max-gossip":
-		proto = algorithms.MaxGossip(rat.FromInt(1))
-	case "max-flood":
-		proto = algorithms.MaxFlood(rat.FromInt(1))
-	case "bounded-max":
-		proto = algorithms.BoundedMax(rat.FromInt(1), rat.FromInt(1))
-	case "gradient":
-		proto = algorithms.Gradient(algorithms.DefaultGradientParams())
-	case "llw":
-		proto = algorithms.LLW(algorithms.DefaultLLWParams())
-	case "root-sync":
-		proto = algorithms.RootSync(rat.FromInt(1), 0)
-	case "rbs":
-		proto = algorithms.RBS(rat.FromInt(2), 0)
-	default:
-		return fmt.Errorf("unknown protocol %q", protoName)
+	proto, err := buildProtocol(protoName)
+	if err != nil {
+		return err
 	}
-
-	var adv sim.Adversary
-	switch advName {
-	case "midpoint":
-		adv = sim.Midpoint()
-	case "zero":
-		adv = sim.FractionAdversary{Frac: rat.Rat{}}
-	case "max":
-		adv = sim.FractionAdversary{Frac: rat.FromInt(1)}
-	case "random":
-		adv = sim.HashAdversary{Seed: seed, Denom: 8}
-	default:
-		return fmt.Errorf("unknown adversary %q", advName)
+	adv, err := buildAdversary(advName, seed)
+	if err != nil {
+		return err
 	}
 
 	scheds := make([]*clock.Schedule, n)
@@ -121,6 +151,66 @@ func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed
 		scheds[0] = clock.Constant(rat.FromInt(1).Add(rho.Div(rat.FromInt(2))))
 	}
 
+	if stream {
+		return runStream(net, scheds, adv, proto, dur, rho, protoName, advName, profile)
+	}
+	return runRecorded(net, scheds, adv, proto, dur, rho, protoName, advName, profile, chart)
+}
+
+func header(protoName string, net *network.Network, dur, rho rat.Rat, advName, mode string) string {
+	return fmt.Sprintf("%s on %s (%d nodes, diameter %s), duration %s, ρ=%s, adversary %s [%s]\n",
+		protoName, net.Name(), net.N(), net.Diameter(), dur, rho, advName, mode)
+}
+
+// runStream drives the incremental engine with online trackers: O(nodes²)
+// memory regardless of event count.
+func runStream(net *network.Network, scheds []*clock.Schedule, adv sim.Adversary, proto sim.Protocol,
+	dur, rho rat.Rat, protoName, advName string, profile bool) error {
+	skew, err := core.NewSkewTracker(net, scheds)
+	if err != nil {
+		return err
+	}
+	valid := core.NewValidityTracker(scheds)
+	var messages uint64
+	eng, err := engine.New(net,
+		engine.WithProtocol(proto),
+		engine.WithAdversary(adv),
+		engine.WithSchedules(scheds),
+		engine.WithRho(rho),
+		engine.WithObservers(skew, valid, engine.Funcs{
+			Send: func(trace.MsgRecord) { messages++ },
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	if err := eng.RunUntil(dur); err != nil {
+		return err
+	}
+	if err := skew.Err(); err != nil {
+		return err
+	}
+
+	fmt.Print(header(protoName, net, dur, rho, advName, "streamed"))
+	fmt.Printf("  events: %d   messages: %d   (no trace retained)\n", eng.Steps(), messages)
+	if err := valid.Err(); err != nil {
+		fmt.Printf("  VALIDITY VIOLATED: %v\n", err)
+	} else {
+		fmt.Printf("  validity (Requirement 1): ok\n")
+	}
+	g := skew.Global()
+	l := skew.Local()
+	fmt.Printf("  global skew: %s (pair %d,%d at t=%s)\n", g.Skew, g.I, g.J, g.At)
+	fmt.Printf("  local  skew: %s (pair %d,%d at t=%s)\n", l.Skew, l.I, l.J, l.At)
+	if profile {
+		printProfile(skew.Profile())
+	}
+	return nil
+}
+
+// runRecorded is the original record-then-check path.
+func runRecorded(net *network.Network, scheds []*clock.Schedule, adv sim.Adversary, proto sim.Protocol,
+	dur, rho rat.Rat, protoName, advName string, profile, chart bool) error {
 	exec, err := sim.Run(sim.Config{
 		Net:       net,
 		Schedules: scheds,
@@ -133,8 +223,7 @@ func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed
 		return err
 	}
 
-	fmt.Printf("%s on %s (%d nodes, diameter %s), duration %s, ρ=%s, adversary %s\n",
-		protoName, net.Name(), n, net.Diameter(), dur, rho, advName)
+	fmt.Print(header(protoName, net, dur, rho, advName, "recorded"))
 	fmt.Printf("  events: %d   messages: %d\n", len(exec.Actions), len(exec.Ledger))
 	if err := core.CheckValidity(exec); err != nil {
 		fmt.Printf("  VALIDITY VIOLATED: %v\n", err)
@@ -146,16 +235,7 @@ func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed
 	fmt.Printf("  global skew: %s (pair %d,%d at t=%s)\n", g.Skew, g.I, g.J, g.At)
 	fmt.Printf("  local  skew: %s (pair %d,%d at t=%s)\n", l.Skew, l.I, l.J, l.At)
 	if profile {
-		fmt.Println("  empirical gradient profile f̂(d):")
-		var labels []string
-		var values []float64
-		for _, pt := range core.SkewProfile(exec) {
-			fmt.Printf("    d=%-6s pairs=%-4d max skew=%s\n", pt.Dist, pt.Pairs, pt.MaxSkew)
-			labels = append(labels, "d="+pt.Dist.String())
-			values = append(values, pt.MaxSkew.Float64())
-		}
-		fmt.Println()
-		fmt.Print(plot.Bars("  f̂(d) profile", labels, values, 40))
+		printProfile(core.SkewProfile(exec))
 	}
 	if chart {
 		fmt.Println()
@@ -167,4 +247,17 @@ func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed
 		))
 	}
 	return nil
+}
+
+func printProfile(points []core.ProfilePoint) {
+	fmt.Println("  empirical gradient profile f̂(d):")
+	var labels []string
+	var values []float64
+	for _, pt := range points {
+		fmt.Printf("    d=%-6s pairs=%-4d max skew=%s\n", pt.Dist, pt.Pairs, pt.MaxSkew)
+		labels = append(labels, "d="+pt.Dist.String())
+		values = append(values, pt.MaxSkew.Float64())
+	}
+	fmt.Println()
+	fmt.Print(plot.Bars("  f̂(d) profile", labels, values, 40))
 }

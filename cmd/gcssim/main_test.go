@@ -9,16 +9,20 @@ func TestRunHappyPaths(t *testing.T) {
 		topology string
 		n        int
 		adv      string
+		stream   bool
 	}{
-		{"gradient line", "gradient", "line", 7, "midpoint"},
-		{"llw? no: max-gossip ring", "max-gossip", "ring", 6, "random"},
-		{"max-flood grid", "max-flood", "grid", 9, "zero"},
-		{"rbs star", "rbs", "star", 6, "random"},
-		{"null complete", "null", "complete", 4, "max"},
+		{"gradient line", "gradient", "line", 7, "midpoint", false},
+		{"llw? no: max-gossip ring", "max-gossip", "ring", 6, "random", false},
+		{"max-flood grid", "max-flood", "grid", 9, "zero", false},
+		{"rbs star", "rbs", "star", 6, "random", false},
+		{"null complete", "null", "complete", 4, "max", false},
+		{"streamed gradient line", "gradient", "line", 7, "midpoint", true},
+		{"streamed max-gossip ring", "max-gossip", "ring", 6, "random", true},
+		{"streamed null complete", "null", "complete", 4, "max", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := run(tc.proto, tc.topology, tc.n, "12", "1/2", tc.adv, 3, true, true, true); err != nil {
+			if err := run(tc.proto, tc.topology, tc.n, "12", "1/2", tc.adv, 3, true, true, !tc.stream, tc.stream); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -30,19 +34,36 @@ func TestRunErrors(t *testing.T) {
 		name                               string
 		proto, topology, dur, rho, advName string
 		n                                  int
+		stream, chart                      bool
 	}{
-		{"bad proto", "nope", "line", "10", "1/2", "midpoint", 5},
-		{"bad topology", "null", "torus", "10", "1/2", "midpoint", 5},
-		{"bad duration", "null", "line", "x", "1/2", "midpoint", 5},
-		{"bad rho", "null", "line", "10", "x", "midpoint", 5},
-		{"bad adversary", "null", "line", "10", "1/2", "chaos", 5},
-		{"rho too big", "null", "line", "10", "2", "midpoint", 5},
+		{"bad proto", "nope", "line", "10", "1/2", "midpoint", 5, false, false},
+		{"bad topology", "null", "torus", "10", "1/2", "midpoint", 5, false, false},
+		{"bad duration", "null", "line", "x", "1/2", "midpoint", 5, false, false},
+		{"zero duration", "null", "line", "0", "1/2", "midpoint", 5, false, false},
+		{"bad rho", "null", "line", "10", "x", "midpoint", 5, false, false},
+		{"bad adversary", "null", "line", "10", "1/2", "chaos", 5, false, false},
+		{"rho too big", "null", "line", "10", "2", "midpoint", 5, false, false},
+		{"bad proto streamed", "nope", "line", "10", "1/2", "midpoint", 5, true, false},
+		{"bad adversary streamed", "null", "line", "10", "1/2", "chaos", 5, true, false},
+		{"rho too big streamed", "null", "line", "10", "2", "midpoint", 5, true, false},
+		{"stream+chart conflict", "null", "line", "10", "1/2", "midpoint", 5, true, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := run(tc.proto, tc.topology, tc.n, tc.dur, tc.rho, tc.advName, 1, false, false, false); err == nil {
+			if err := run(tc.proto, tc.topology, tc.n, tc.dur, tc.rho, tc.advName, 1, false, false, tc.chart, tc.stream); err == nil {
 				t.Fatal("expected error")
 			}
 		})
+	}
+}
+
+// TestStreamMatchesRecordedCLI: the two CLI paths must report identical
+// metrics; this is asserted exactly in the library tests, here we just
+// exercise both paths on the same configuration end to end.
+func TestStreamMatchesRecordedCLI(t *testing.T) {
+	for _, stream := range []bool{false, true} {
+		if err := run("gradient", "line", 9, "20", "1/2", "random", 7, true, false, false, stream); err != nil {
+			t.Fatalf("stream=%v: %v", stream, err)
+		}
 	}
 }

@@ -23,8 +23,35 @@
 //
 // # Quickstart
 //
+// Simulation is incremental: build an Engine, attach observers, and drive
+// it. Online trackers maintain the paper's skew metrics as the run streams
+// by, in memory independent of event count — so networks and durations are
+// limited by patience, not by trace size:
+//
 //	net, _ := gcs.Line(9)
 //	scheds := gcs.ConstantSchedules(9, gcs.R(1))
+//	eng, err := gcs.NewEngine(net,
+//	    gcs.WithProtocol(gcs.Gradient(gcs.DefaultGradientParams())),
+//	    gcs.WithAdversary(gcs.Midpoint()),
+//	    gcs.WithSchedules(scheds),
+//	    gcs.WithRho(gcs.Frac(1, 2)),
+//	)
+//	...
+//	skew, _ := gcs.NewSkewTracker(net, scheds)
+//	valid := gcs.NewValidityTracker(scheds)
+//	eng.Observe(skew, valid)
+//	if err := eng.RunUntil(gcs.R(50)); err != nil { ... }
+//	fmt.Println(skew.Global().Skew, skew.Local().Skew, valid.Err())
+//
+// Step() drives one event at a time (early stopping, mid-run inspection),
+// RunFor(r) extends the horizon incrementally, and any number of Observers
+// can subscribe to the action/message/declaration stream.
+//
+// The batch API records everything and remains available — Run builds an
+// Engine with a trace.Recorder attached and returns the completed
+// *Execution for post-hoc analysis, which the lower-bound constructions
+// need (they re-simulate and compare whole traces):
+//
 //	exec, err := gcs.Run(gcs.Config{
 //	    Net:       net,
 //	    Schedules: scheds,
@@ -36,14 +63,16 @@
 //	...
 //	fmt.Println(gcs.GlobalSkew(exec).Skew)
 //
-// See the examples/ directory for runnable scenarios and cmd/gcsbench for
-// the experiment harness that regenerates every figure-level result.
+// See the examples/ directory for runnable scenarios, cmd/gcssim -stream
+// for the streaming driver, and cmd/gcsbench for the experiment harness
+// that regenerates every figure-level result.
 package gcs
 
 import (
 	"gcs/internal/algorithms"
 	"gcs/internal/clock"
 	"gcs/internal/core"
+	"gcs/internal/engine"
 	"gcs/internal/lowerbound"
 	"gcs/internal/network"
 	"gcs/internal/plot"
@@ -154,7 +183,41 @@ const (
 	KindSend  = trace.KindSend
 )
 
-// Run executes a configuration and returns its trace.
+// Streaming simulation engine (see internal/engine).
+type (
+	// Engine is the incremental simulation core: construct with NewEngine,
+	// drive with Step / RunUntil / RunFor, observe with Observe.
+	Engine = engine.Engine
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+	// Observer receives the action/message event stream of a running Engine.
+	Observer = engine.Observer
+	// ClockObserver additionally receives logical-clock declarations.
+	ClockObserver = engine.ClockObserver
+	// HorizonObserver is notified when RunUntil/RunFor complete a horizon.
+	HorizonObserver = engine.HorizonObserver
+	// ObserverFuncs adapts plain functions to the observer interfaces.
+	ObserverFuncs = engine.Funcs
+	// Decl is one logical-clock declaration, streamed to ClockObservers.
+	Decl = trace.Decl
+	// Recorder is the full-trace observer backing the batch Run path.
+	Recorder = trace.Recorder
+)
+
+// Engine constructors and options.
+var (
+	NewEngine     = engine.New
+	WithProtocol  = engine.WithProtocol
+	WithAdversary = engine.WithAdversary
+	WithSchedules = engine.WithSchedules
+	WithRho       = engine.WithRho
+	WithObservers = engine.WithObservers
+	NewRecorder   = trace.NewRecorder
+)
+
+// Run executes a configuration and returns its trace: a compatibility
+// wrapper that builds an Engine, attaches a Recorder, and compiles the
+// Execution.
 func Run(cfg Config) (*Execution, error) { return sim.Run(cfg) }
 
 // Midpoint returns the delay = d/2 adversary used by the constructions.
@@ -216,6 +279,25 @@ var (
 	LocalSkew          = core.LocalSkew
 	SkewProfile        = core.SkewProfile
 	MaxIncreasePerUnit = core.MaxIncreasePerUnit
+)
+
+// Online metrics: engine observers maintaining the same quantities as the
+// post-hoc checkers, in O(nodes²) state with no trace retention.
+type (
+	// SkewTracker maintains running global/local/per-pair skew.
+	SkewTracker = core.SkewTracker
+	// GradientTracker adds online f-gradient checking and first-violation
+	// detection to a SkewTracker.
+	GradientTracker = core.GradientTracker
+	// ValidityTracker checks Requirement 1 online.
+	ValidityTracker = core.ValidityTracker
+)
+
+// Online metric constructors.
+var (
+	NewSkewTracker     = core.NewSkewTracker
+	NewGradientTracker = core.NewGradientTracker
+	NewValidityTracker = core.NewValidityTracker
 )
 
 // Lower-bound constructions (§5–§8 of the paper).

@@ -1,0 +1,456 @@
+// Package engine is the incremental discrete-event simulation core for
+// networks of timed automata with drifting hardware clocks, following the
+// model of Fan & Lynch (PODC 2004), §3.
+//
+// Unlike the original batch runner (now the compatibility wrapper Run), an
+// Engine is constructed once and then driven step by step: Step dispatches
+// the single next event, RunUntil(t) dispatches everything through real time
+// t, and RunFor(r) extends the covered horizon by r. Consumers observe the
+// run through the Observer interface instead of receiving a buffered trace,
+// so metrics can be computed online in memory independent of event count,
+// schedules can be perturbed between phases of a run, and a run can stop
+// early the moment a property of interest is violated.
+//
+// Each node runs a Node automaton that can observe only its hardware-clock
+// readings and received messages — never real time. The adversary supplies
+// each node's hardware rate schedule (see internal/clock) and chooses every
+// message's delay within [0, d(from,to)].
+//
+// Determinism: events are ordered by (real time, kind, destination node,
+// peer, per-pair message sequence / timer id, scheduling sequence). Two runs
+// with the same configuration produce identical event streams, and —
+// crucially for the lower-bound constructions — per-node event order is
+// invariant under the per-node monotone time remappings used by the Add Skew
+// and Bounded Increase lemmas, because ties are broken by node-visible keys
+// rather than by wall-clock accidents.
+package engine
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"gcs/internal/clock"
+	"gcs/internal/network"
+	"gcs/internal/piecewise"
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// Message is the payload of a simulated message. MsgString must be a
+// canonical, value-determined encoding: trace equivalence compares messages
+// by this string, so two payloads with equal meaning must produce equal
+// strings.
+type Message interface {
+	MsgString() string
+}
+
+// Node is one timed automaton. Implementations must be deterministic
+// functions of the observations delivered through Runtime (hardware
+// readings, messages); they must not consult real time, randomness, or
+// global state.
+type Node interface {
+	// Init is called once at real time 0.
+	Init(rt *Runtime)
+	// OnTimer is called when a timer set via SetTimerAtHW fires.
+	OnTimer(rt *Runtime, timerID int)
+	// OnMessage is called when a message arrives.
+	OnMessage(rt *Runtime, from int, msg Message)
+}
+
+// Protocol instantiates per-node automata.
+type Protocol interface {
+	Name() string
+	// NewNode creates the automaton for node id. Static environment data is
+	// available through the Runtime during callbacks.
+	NewNode(id int) Node
+}
+
+// Adversary chooses message delays. Delay must return a value in
+// [0, bound]; the engine validates and fails the run otherwise.
+type Adversary interface {
+	Delay(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) rat.Rat
+}
+
+// Config fully describes a batch run for the Run compatibility wrapper.
+type Config struct {
+	Net       *network.Network
+	Schedules []*clock.Schedule // one per node
+	Adversary Adversary
+	Protocol  Protocol
+	Duration  rat.Rat
+	Rho       rat.Rat // drift bound ρ; exposed to algorithms, validates schedules
+}
+
+// Engine is an incremental simulation: an event queue over a fixed network,
+// protocol, adversary, and set of hardware schedules, driven by Step,
+// RunUntil, and RunFor, and observed through attached Observers.
+type Engine struct {
+	net    *network.Network
+	scheds []*clock.Schedule
+	adv    Adversary
+	proto  Protocol
+	rho    rat.Rat
+
+	obs        []Observer
+	clockObs   []ClockObserver
+	horizonObs []HorizonObserver
+
+	queue    eventQueue
+	seq      uint64
+	pairSeq  map[[2]int]uint64
+	runtimes []*Runtime
+	nodes    []Node
+
+	now     rat.Rat // real time of the last dispatched event
+	horizon rat.Rat // time through which the run is complete
+	steps   uint64  // dispatched event count
+	err     error
+}
+
+// Option configures an Engine under construction.
+type Option func(*Engine)
+
+// WithProtocol sets the protocol instantiating per-node automata
+// (required).
+func WithProtocol(p Protocol) Option { return func(e *Engine) { e.proto = p } }
+
+// WithAdversary sets the delay adversary. Default: Midpoint().
+func WithAdversary(a Adversary) Option { return func(e *Engine) { e.adv = a } }
+
+// WithSchedules sets the per-node hardware rate schedules. Default: every
+// node runs at constant rate 1.
+func WithSchedules(scheds []*clock.Schedule) Option {
+	return func(e *Engine) { e.scheds = scheds }
+}
+
+// WithRho sets the drift bound ρ ∈ [0, 1); schedules are validated against
+// it. Default: 0 (which admits only rate-1 schedules).
+func WithRho(rho rat.Rat) Option { return func(e *Engine) { e.rho = rho } }
+
+// WithObservers attaches observers at construction, before any event is
+// dispatched. Equivalent to calling Observe before the first Step.
+func WithObservers(obs ...Observer) Option {
+	return func(e *Engine) { e.Observe(obs...) }
+}
+
+// New builds an Engine over net and seeds every node's init event at real
+// time 0. Nothing runs until the engine is driven with Step, RunUntil, or
+// RunFor.
+func New(net *network.Network, opts ...Option) (*Engine, error) {
+	if net == nil {
+		return nil, errors.New("engine: nil network")
+	}
+	e := &Engine{net: net}
+	for _, opt := range opts {
+		opt(e)
+	}
+	n := net.N()
+	if e.scheds == nil {
+		e.scheds = make([]*clock.Schedule, n)
+		for i := range e.scheds {
+			e.scheds[i] = clock.Constant(rat.FromInt(1))
+		}
+	}
+	if len(e.scheds) != n {
+		return nil, fmt.Errorf("engine: %d schedules for %d nodes", len(e.scheds), n)
+	}
+	if e.adv == nil {
+		e.adv = Midpoint()
+	}
+	if e.proto == nil {
+		return nil, errors.New("engine: nil protocol (use WithProtocol)")
+	}
+	if e.rho.Sign() < 0 || e.rho.GreaterEq(rat.FromInt(1)) {
+		return nil, fmt.Errorf("engine: drift ρ=%s outside [0,1)", e.rho)
+	}
+	for i, s := range e.scheds {
+		if s == nil {
+			return nil, fmt.Errorf("engine: nil schedule for node %d", i)
+		}
+		if err := s.ValidateDrift(e.rho); err != nil {
+			return nil, fmt.Errorf("engine: node %d: %w", i, err)
+		}
+	}
+	e.pairSeq = make(map[[2]int]uint64)
+	e.runtimes = make([]*Runtime, n)
+	e.nodes = make([]Node, n)
+	for i := 0; i < n; i++ {
+		e.runtimes[i] = &Runtime{eng: e, id: i}
+		e.nodes[i] = e.proto.NewNode(i)
+		// Default logical clock L = H until the node declares otherwise.
+		e.runtimes[i].decls = []trace.Decl{{Node: i, Mult: rat.FromInt(1)}}
+	}
+	for i := 0; i < n; i++ {
+		heap.Push(&e.queue, &event{kind: trace.KindInit, node: i, from: -1, seq: e.nextSeq()})
+	}
+	return e, nil
+}
+
+// Observe attaches observers to the event stream. Observers attached before
+// the first Step see the complete run; observers attached mid-run see events
+// from that point on.
+func (e *Engine) Observe(obs ...Observer) {
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		e.obs = append(e.obs, o)
+		if c, ok := o.(ClockObserver); ok {
+			e.clockObs = append(e.clockObs, c)
+		}
+		if h, ok := o.(HorizonObserver); ok {
+			e.horizonObs = append(e.horizonObs, h)
+		}
+	}
+}
+
+// N returns the number of nodes.
+func (e *Engine) N() int { return e.net.N() }
+
+// Net returns the network.
+func (e *Engine) Net() *network.Network { return e.net }
+
+// Schedules returns the per-node hardware schedules (shared, immutable).
+func (e *Engine) Schedules() []*clock.Schedule { return e.scheds }
+
+// Now returns the real time of the last dispatched event.
+func (e *Engine) Now() rat.Rat { return e.now }
+
+// Horizon returns the real time through which the run is complete: no
+// pending event at time <= Horizon remains undispatched.
+func (e *Engine) Horizon() rat.Rat { return e.horizon }
+
+// Steps returns the number of events dispatched so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Err returns the sticky error that failed the run, if any.
+func (e *Engine) Err() error { return e.err }
+
+// Step dispatches the single next pending event, advancing the horizon to
+// its time. It returns false when the queue is empty (every node is idle and
+// no messages are in flight). After an error the engine is poisoned: Step
+// keeps returning the same error.
+func (e *Engine) Step() (bool, error) {
+	if e.err != nil {
+		return false, e.err
+	}
+	if e.queue.Len() == 0 {
+		return false, nil
+	}
+	ev, ok := heap.Pop(&e.queue).(*event)
+	if !ok {
+		e.fail(errors.New("engine: corrupt event queue"))
+		return false, e.err
+	}
+	e.dispatch(ev)
+	if ev.time.Greater(e.horizon) {
+		e.horizon = ev.time
+	}
+	if e.err != nil {
+		return false, e.err
+	}
+	return true, nil
+}
+
+// RunUntil dispatches every pending event with time <= t, in deterministic
+// order, then advances the horizon to t and notifies HorizonObservers. t
+// must not precede the current horizon.
+func (e *Engine) RunUntil(t rat.Rat) error {
+	if e.err != nil {
+		return e.err
+	}
+	if t.Less(e.horizon) {
+		return fmt.Errorf("engine: RunUntil(%s) before horizon %s", t, e.horizon)
+	}
+	for e.queue.Len() > 0 {
+		if e.queue.items[0].time.Greater(t) {
+			break
+		}
+		ev, ok := heap.Pop(&e.queue).(*event)
+		if !ok {
+			e.fail(errors.New("engine: corrupt event queue"))
+			return e.err
+		}
+		e.dispatch(ev)
+		if e.err != nil {
+			return e.err
+		}
+	}
+	e.horizon = t
+	for _, h := range e.horizonObs {
+		h.OnHorizon(t)
+	}
+	return nil
+}
+
+// RunFor extends the covered horizon by r > 0.
+func (e *Engine) RunFor(r rat.Rat) error {
+	if r.Sign() <= 0 {
+		return fmt.Errorf("engine: non-positive RunFor duration %s", r)
+	}
+	return e.RunUntil(e.horizon.Add(r))
+}
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *Engine) emitAction(a trace.Action) {
+	for _, o := range e.obs {
+		o.OnAction(a)
+	}
+}
+
+func (e *Engine) dispatch(ev *event) {
+	e.now = ev.time
+	e.steps++
+	rt := e.runtimes[ev.node]
+	hw := e.scheds[ev.node].HW(ev.time)
+	rt.hwNow = hw
+	switch ev.kind {
+	case trace.KindInit:
+		e.emitAction(trace.Action{Node: ev.node, Kind: trace.KindInit, Real: ev.time, HW: hw, Peer: -1})
+		e.nodes[ev.node].Init(rt)
+	case trace.KindTimer:
+		e.emitAction(trace.Action{Node: ev.node, Kind: trace.KindTimer, Real: ev.time, HW: hw, Peer: -1, TimerID: ev.timerID})
+		e.nodes[ev.node].OnTimer(rt, ev.timerID)
+	case trace.KindRecv:
+		payload := ev.payload.MsgString()
+		rec := trace.MsgRecord{
+			Key:       trace.MsgKey{From: ev.from, To: ev.node, Seq: ev.msgSeq},
+			SendReal:  ev.sendReal,
+			RecvReal:  ev.time,
+			Delay:     ev.delay,
+			Payload:   payload,
+			Delivered: true,
+		}
+		for _, o := range e.obs {
+			o.OnDeliver(rec)
+		}
+		e.emitAction(trace.Action{Node: ev.node, Kind: trace.KindRecv, Real: ev.time, HW: hw,
+			Peer: ev.from, MsgSeq: ev.msgSeq, Payload: payload})
+		e.nodes[ev.node].OnMessage(rt, ev.from, ev.payload)
+	default:
+		e.fail(fmt.Errorf("engine: unknown event kind %v", ev.kind))
+	}
+}
+
+// Execution compiles the engine's clocks through the current horizon and
+// combines them with rec's buffered trace into a complete Execution. rec
+// must have been attached (via Observe or WithObservers) before the first
+// event was dispatched for the trace to be complete.
+func (e *Engine) Execution(rec *trace.Recorder) (*trace.Execution, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	n := e.net.N()
+	logical := make([]*piecewise.PLF, n)
+	hardware := make([]*piecewise.PLF, n)
+	for i := 0; i < n; i++ {
+		hardware[i] = e.scheds[i].HWFunc()
+		plf, err := compileLogical(e.scheds[i], e.runtimes[i].decls, e.horizon)
+		if err != nil {
+			return nil, fmt.Errorf("engine: node %d logical clock: %w", i, err)
+		}
+		logical[i] = plf
+	}
+	return rec.Execution(e.net, e.scheds, e.horizon, logical, hardware), nil
+}
+
+// Run executes a batch configuration and returns its recorded trace. It is
+// the legacy record-everything API, now a thin compatibility wrapper: it
+// builds an Engine, attaches a trace.Recorder, drives the run to
+// cfg.Duration, and compiles the Execution — byte-identical to the original
+// monolithic runner.
+func Run(cfg Config) (*trace.Execution, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("engine: nil network")
+	}
+	if len(cfg.Schedules) != cfg.Net.N() {
+		return nil, fmt.Errorf("engine: %d schedules for %d nodes", len(cfg.Schedules), cfg.Net.N())
+	}
+	if cfg.Adversary == nil {
+		return nil, errors.New("engine: nil adversary")
+	}
+	if cfg.Duration.Sign() <= 0 {
+		return nil, fmt.Errorf("engine: non-positive duration %s", cfg.Duration)
+	}
+	eng, err := New(cfg.Net,
+		WithProtocol(cfg.Protocol),
+		WithAdversary(cfg.Adversary),
+		WithSchedules(cfg.Schedules),
+		WithRho(cfg.Rho),
+	)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(cfg.Net.N())
+	eng.Observe(rec)
+	if err := eng.RunUntil(cfg.Duration); err != nil {
+		return nil, err
+	}
+	return eng.Execution(rec)
+}
+
+// compileLogical merges a node's logical-clock declarations with its
+// hardware rate schedule into an exact piecewise-linear L(t) over real time,
+// truncated at the horizon.
+// Between declarations, L(t) = Value + Mult·(H(t) − HW0), so within one
+// hardware rate segment the real-time slope is Mult·rate.
+func compileLogical(sched *clock.Schedule, decls []trace.Decl, horizon rat.Rat) (*piecewise.PLF, error) {
+	if len(decls) == 0 {
+		return nil, errors.New("no logical declarations")
+	}
+	plf := piecewise.New(rat.Rat{}, decls[0].Value, decls[0].Mult.Mul(sched.RateAt(rat.Rat{})))
+	rateBreaks := sched.Rates()
+	ri := 0 // index of the rate segment in effect
+	advanceRate := func(t rat.Rat) {
+		for ri+1 < len(rateBreaks) && rateBreaks[ri+1].At.LessEq(t) {
+			ri++
+		}
+	}
+	cur := decls[0]
+	emit := func(at rat.Rat, d trace.Decl) error {
+		advanceRate(at)
+		v := d.Value.Add(d.Mult.Mul(sched.HW(at).Sub(d.HW0)))
+		return plf.Append(at, v, d.Mult.Mul(rateBreaks[ri].Rate))
+	}
+	for k := 1; k < len(decls); k++ {
+		d := decls[k]
+		// Rate breakpoints strictly between the previous declaration and this
+		// one change the real-time slope of the current declaration.
+		for _, rb := range rateBreaks {
+			if rb.At.Greater(cur.Real) && rb.At.Less(d.Real) && rb.At.LessEq(horizon) {
+				if err := emit(rb.At, cur); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if d.Real.Greater(horizon) {
+			return plf, nil
+		}
+		if err := emit(d.Real, d); err != nil {
+			return nil, err
+		}
+		cur = d
+	}
+	for _, rb := range rateBreaks {
+		if rb.At.Greater(cur.Real) && rb.At.LessEq(horizon) {
+			if err := emit(rb.At, cur); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return plf, nil
+}

@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"gcs/internal/rat"
@@ -10,15 +10,17 @@ import (
 // invariant under the monotone time remappings used by the lower-bound
 // constructions: (time, kind, node, peer, msgSeq/timerID, seq).
 type event struct {
-	time    rat.Rat
-	kind    trace.Kind
-	node    int // destination node
-	from    int // Recv only
-	msgSeq  uint64
-	timerID int
-	payload Message
-	seq     uint64 // global scheduling sequence, final tie-breaker
-	index   int    // heap bookkeeping
+	time     rat.Rat
+	kind     trace.Kind
+	node     int // destination node
+	from     int // Recv only
+	msgSeq   uint64
+	timerID  int
+	payload  Message
+	sendReal rat.Rat // Recv only: real send time, for the delivery record
+	delay    rat.Rat // Recv only: adversary-chosen delay
+	seq      uint64  // global scheduling sequence, final tie-breaker
+	index    int     // heap bookkeeping
 }
 
 // kindRank orders simultaneous events: inits, then message deliveries, then
@@ -77,7 +79,7 @@ func (q *eventQueue) Swap(i, j int) {
 func (q *eventQueue) Push(x any) {
 	ev, ok := x.(*event)
 	if !ok {
-		panic("sim: push of non-event")
+		panic("engine: push of non-event")
 	}
 	ev.index = len(q.items)
 	q.items = append(q.items, ev)

@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"container/heap"
@@ -12,28 +12,28 @@ import (
 // deliberately exposes no real-time information: everything a node can learn
 // is its hardware clock, the static network parameters, and its messages.
 type Runtime struct {
-	sim   *state
+	eng   *Engine
 	id    int
 	hwNow rat.Rat
-	decls []logicalDecl
+	decls []trace.Decl
 }
 
 // ID returns this node's index.
 func (rt *Runtime) ID() int { return rt.id }
 
 // N returns the number of nodes.
-func (rt *Runtime) N() int { return rt.sim.cfg.Net.N() }
+func (rt *Runtime) N() int { return rt.eng.net.N() }
 
 // Neighbors returns this node's gossip neighbors. The caller must not modify
 // the returned slice.
-func (rt *Runtime) Neighbors() []int { return rt.sim.cfg.Net.Neighbors(rt.id) }
+func (rt *Runtime) Neighbors() []int { return rt.eng.net.Neighbors(rt.id) }
 
 // Dist returns the message delay uncertainty to node j (static knowledge in
 // the model).
-func (rt *Runtime) Dist(j int) rat.Rat { return rt.sim.cfg.Net.Dist(rt.id, j) }
+func (rt *Runtime) Dist(j int) rat.Rat { return rt.eng.net.Dist(rt.id, j) }
 
 // Rho returns the hardware drift bound ρ (static knowledge in the model).
-func (rt *Runtime) Rho() rat.Rat { return rt.sim.cfg.Rho }
+func (rt *Runtime) Rho() rat.Rat { return rt.eng.rho }
 
 // HW returns the node's current hardware-clock reading.
 func (rt *Runtime) HW() rat.Rat { return rt.hwNow }
@@ -51,77 +51,88 @@ func (rt *Runtime) LogicalMult() rat.Rat { return rt.decls[len(rt.decls)-1].Mult
 // SetLogical declares the node's logical clock: from the current hardware
 // reading H₀ on, L(H) = value + mult·(H − H₀). mult must be >= 0.
 // Requirement 1 of the paper (validity) additionally demands effective rate
-// >= 1/2 and no downward jumps; the validity checker in internal/core
-// verifies that post hoc rather than restricting algorithms a priori.
+// >= 1/2 and no downward jumps; the validity checkers in internal/core
+// verify that (online or post hoc) rather than restricting algorithms a
+// priori.
 func (rt *Runtime) SetLogical(value, mult rat.Rat) {
+	e := rt.eng
 	if mult.Sign() < 0 {
-		rt.sim.fail(fmt.Errorf("sim: node %d declared negative logical multiplier %s", rt.id, mult))
+		e.fail(fmt.Errorf("engine: node %d declared negative logical multiplier %s", rt.id, mult))
 		return
 	}
-	rt.decls = append(rt.decls, logicalDecl{Real: rt.sim.now, HW0: rt.hwNow, Value: value, Mult: mult})
+	d := trace.Decl{Node: rt.id, Real: e.now, HW0: rt.hwNow, Value: value, Mult: mult}
+	rt.decls = append(rt.decls, d)
+	for _, o := range e.clockObs {
+		o.OnDeclare(d)
+	}
 }
 
 // Send transmits msg to node `to`. The adversary assigns the delay.
 func (rt *Runtime) Send(to int, msg Message) {
-	s := rt.sim
+	e := rt.eng
 	if to < 0 || to >= rt.N() || to == rt.id {
-		s.fail(fmt.Errorf("sim: node %d sends to invalid node %d", rt.id, to))
+		e.fail(fmt.Errorf("engine: node %d sends to invalid node %d", rt.id, to))
 		return
 	}
 	if msg == nil {
-		s.fail(fmt.Errorf("sim: node %d sends nil message", rt.id))
+		e.fail(fmt.Errorf("engine: node %d sends nil message", rt.id))
 		return
 	}
 	pair := [2]int{rt.id, to}
-	seq := s.pairSeq[pair]
-	s.pairSeq[pair] = seq + 1
-	bound := s.cfg.Net.Dist(rt.id, to)
-	delay := s.cfg.Adversary.Delay(rt.id, to, seq, s.now, bound)
+	seq := e.pairSeq[pair]
+	e.pairSeq[pair] = seq + 1
+	bound := e.net.Dist(rt.id, to)
+	delay := e.adv.Delay(rt.id, to, seq, e.now, bound)
 	if delay.Sign() < 0 || delay.Greater(bound) {
-		s.fail(fmt.Errorf("sim: adversary delay %s for %d→%d (seq %d) outside [0, %s]",
+		e.fail(fmt.Errorf("engine: adversary delay %s for %d→%d (seq %d) outside [0, %s]",
 			delay, rt.id, to, seq, bound))
 		return
 	}
-	recv := s.now.Add(delay)
-	key := trace.MsgKey{From: rt.id, To: to, Seq: seq}
-	s.ledger[key] = trace.MsgRecord{
-		Key:      key,
-		SendReal: s.now,
+	recv := e.now.Add(delay)
+	payload := msg.MsgString()
+	rec := trace.MsgRecord{
+		Key:      trace.MsgKey{From: rt.id, To: to, Seq: seq},
+		SendReal: e.now,
 		Delay:    delay,
-		Payload:  msg.MsgString(),
+		Payload:  payload,
 	}
-	s.record(trace.Action{Node: rt.id, Kind: trace.KindSend, Real: s.now, HW: rt.hwNow,
-		Peer: to, MsgSeq: seq, Payload: msg.MsgString()})
-	heap.Push(&s.queue, &event{
-		time:    recv,
-		kind:    trace.KindRecv,
-		node:    to,
-		from:    rt.id,
-		msgSeq:  seq,
-		payload: msg,
-		seq:     s.nextSeq(),
+	for _, o := range e.obs {
+		o.OnSend(rec)
+	}
+	e.emitAction(trace.Action{Node: rt.id, Kind: trace.KindSend, Real: e.now, HW: rt.hwNow,
+		Peer: to, MsgSeq: seq, Payload: payload})
+	heap.Push(&e.queue, &event{
+		time:     recv,
+		kind:     trace.KindRecv,
+		node:     to,
+		from:     rt.id,
+		msgSeq:   seq,
+		payload:  msg,
+		sendReal: e.now,
+		delay:    delay,
+		seq:      e.nextSeq(),
 	})
 }
 
 // SetTimerAtHW schedules OnTimer(timerID) to fire when this node's hardware
 // clock reads hw, which must be >= the current reading.
 func (rt *Runtime) SetTimerAtHW(hw rat.Rat, timerID int) {
-	s := rt.sim
+	e := rt.eng
 	if hw.Less(rt.hwNow) {
-		s.fail(fmt.Errorf("sim: node %d sets timer at hardware time %s < current %s", rt.id, hw, rt.hwNow))
+		e.fail(fmt.Errorf("engine: node %d sets timer at hardware time %s < current %s", rt.id, hw, rt.hwNow))
 		return
 	}
-	real, err := s.cfg.Schedules[rt.id].RealAt(hw)
+	real, err := e.scheds[rt.id].RealAt(hw)
 	if err != nil {
-		s.fail(fmt.Errorf("sim: node %d timer: %w", rt.id, err))
+		e.fail(fmt.Errorf("engine: node %d timer: %w", rt.id, err))
 		return
 	}
-	heap.Push(&s.queue, &event{
+	heap.Push(&e.queue, &event{
 		time:    real,
 		kind:    trace.KindTimer,
 		node:    rt.id,
 		from:    -1,
 		timerID: timerID,
-		seq:     s.nextSeq(),
+		seq:     e.nextSeq(),
 	})
 }

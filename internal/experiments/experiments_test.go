@@ -281,3 +281,30 @@ func TestMedianMax(t *testing.T) {
 		t.Errorf("maxOf = %f", m)
 	}
 }
+
+func TestE12(t *testing.T) {
+	opt := DefaultE12(smallProtos())
+	opt.Sizes = []int{17, 33}
+	opt.Duration = rat.FromInt(16)
+	rows, table, err := E12StreamScale(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Events == 0 || r.Messages == 0 {
+			t.Errorf("%s n=%d: empty run (events=%d messages=%d)", r.Protocol, r.N, r.Events, r.Messages)
+		}
+		if !r.Valid {
+			t.Errorf("%s n=%d: validity violated", r.Protocol, r.N)
+		}
+		if r.Local.Greater(r.Global) {
+			t.Errorf("%s n=%d: local skew %s exceeds global %s", r.Protocol, r.N, r.Local, r.Global)
+		}
+	}
+	if !strings.Contains(table.Render(), "E12") {
+		t.Error("table missing E12 id")
+	}
+}

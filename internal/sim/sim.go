@@ -1,276 +1,56 @@
-// Package sim is a deterministic discrete-event simulator for networks of
-// timed automata with drifting hardware clocks, following the model of
-// Fan & Lynch (PODC 2004), §3.
+// Package sim is the batch-run compatibility facade over the incremental
+// simulation core in internal/engine.
 //
-// Each node runs a Node automaton that can observe only its hardware-clock
-// readings and received messages — never real time. The adversary supplies
-// each node's hardware rate schedule (see internal/clock) and chooses every
-// message's delay within [0, d(from,to)].
+// Historically this package held the monolithic record-everything simulator;
+// the event loop, runtime, and adversaries now live in internal/engine,
+// which exposes them incrementally (Step / RunUntil / RunFor + Observers).
+// Every type here is an alias for its engine counterpart, so existing
+// callers — the algorithm portfolio, the lower-bound constructions, the
+// experiments — compile and behave exactly as before, and a sim.Protocol is
+// an engine.Protocol with no conversion.
 //
-// Determinism: events are ordered by (real time, kind, destination node,
-// peer, per-pair message sequence / timer id, scheduling sequence). Two runs
-// with the same configuration produce identical traces, and — crucially for
-// the lower-bound constructions — per-node event order is invariant under
-// the per-node monotone time remappings used by the Add Skew and Bounded
-// Increase lemmas, because ties are broken by node-visible keys rather than
-// by wall-clock accidents.
+// Run executes a Config to its horizon and returns the full recorded trace,
+// implemented as an Engine with a trace.Recorder attached. Callers that do
+// not need the trace should build an engine.Engine directly and observe it
+// online instead.
 package sim
 
 import (
-	"container/heap"
-	"errors"
-	"fmt"
-
-	"gcs/internal/clock"
-	"gcs/internal/network"
-	"gcs/internal/piecewise"
-	"gcs/internal/rat"
+	"gcs/internal/engine"
 	"gcs/internal/trace"
 )
 
-// Message is the payload of a simulated message. MsgString must be a
-// canonical, value-determined encoding: trace equivalence compares messages
-// by this string, so two payloads with equal meaning must produce equal
-// strings.
-type Message interface {
-	MsgString() string
-}
+// Core model types, aliased from the engine core.
+type (
+	// Message is a payload with a canonical string form.
+	Message = engine.Message
+	// Node is one timed automaton.
+	Node = engine.Node
+	// Protocol instantiates per-node automata.
+	Protocol = engine.Protocol
+	// Runtime is a node's interface to the simulated world.
+	Runtime = engine.Runtime
+	// Adversary chooses message delays.
+	Adversary = engine.Adversary
+	// Config fully describes a batch run.
+	Config = engine.Config
+)
 
-// Node is one timed automaton. Implementations must be deterministic
-// functions of the observations delivered through Runtime (hardware
-// readings, messages); they must not consult real time, randomness, or
-// global state.
-type Node interface {
-	// Init is called once at real time 0.
-	Init(rt *Runtime)
-	// OnTimer is called when a timer set via SetTimerAtHW fires.
-	OnTimer(rt *Runtime, timerID int)
-	// OnMessage is called when a message arrives.
-	OnMessage(rt *Runtime, from int, msg Message)
-}
+// Concrete adversaries, aliased from the engine core.
+type (
+	// FractionAdversary delays every message by a fixed fraction of the
+	// bound.
+	FractionAdversary = engine.FractionAdversary
+	// ScriptedAdversary replays exact per-message delays.
+	ScriptedAdversary = engine.ScriptedAdversary
+	// FuncAdversary adapts a function.
+	FuncAdversary = engine.FuncAdversary
+	// HashAdversary draws reproducible pseudo-random delays.
+	HashAdversary = engine.HashAdversary
+)
 
-// Protocol instantiates per-node automata.
-type Protocol interface {
-	Name() string
-	// NewNode creates the automaton for node id. Static environment data is
-	// available through the Runtime during callbacks.
-	NewNode(id int) Node
-}
-
-// Adversary chooses message delays. Delay must return a value in
-// [0, bound]; the simulator validates and fails the run otherwise.
-type Adversary interface {
-	Delay(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) rat.Rat
-}
-
-// Config fully describes a run.
-type Config struct {
-	Net       *network.Network
-	Schedules []*clock.Schedule // one per node
-	Adversary Adversary
-	Protocol  Protocol
-	Duration  rat.Rat
-	Rho       rat.Rat // drift bound ρ; exposed to algorithms, validates schedules
-}
+// Midpoint returns the frac=1/2 adversary used throughout the constructions.
+func Midpoint() FractionAdversary { return engine.Midpoint() }
 
 // Run executes the configuration to its horizon and returns the trace.
-func Run(cfg Config) (*trace.Execution, error) {
-	if cfg.Net == nil {
-		return nil, errors.New("sim: nil network")
-	}
-	n := cfg.Net.N()
-	if len(cfg.Schedules) != n {
-		return nil, fmt.Errorf("sim: %d schedules for %d nodes", len(cfg.Schedules), n)
-	}
-	if cfg.Adversary == nil {
-		return nil, errors.New("sim: nil adversary")
-	}
-	if cfg.Protocol == nil {
-		return nil, errors.New("sim: nil protocol")
-	}
-	if cfg.Duration.Sign() <= 0 {
-		return nil, fmt.Errorf("sim: non-positive duration %s", cfg.Duration)
-	}
-	if cfg.Rho.Sign() < 0 || cfg.Rho.GreaterEq(rat.FromInt(1)) {
-		return nil, fmt.Errorf("sim: drift ρ=%s outside [0,1)", cfg.Rho)
-	}
-	for i, s := range cfg.Schedules {
-		if s == nil {
-			return nil, fmt.Errorf("sim: nil schedule for node %d", i)
-		}
-		if err := s.ValidateDrift(cfg.Rho); err != nil {
-			return nil, fmt.Errorf("sim: node %d: %w", i, err)
-		}
-	}
-
-	s := &state{cfg: cfg}
-	s.ledger = make(map[trace.MsgKey]trace.MsgRecord)
-	s.pairSeq = make(map[[2]int]uint64)
-	s.perNode = make([][]int, n)
-	s.runtimes = make([]*Runtime, n)
-	s.nodes = make([]Node, n)
-	for i := 0; i < n; i++ {
-		s.runtimes[i] = &Runtime{sim: s, id: i}
-		s.nodes[i] = cfg.Protocol.NewNode(i)
-		// Default logical clock L = H until the node declares otherwise.
-		s.runtimes[i].decls = []logicalDecl{{}}
-		s.runtimes[i].decls[0].Mult = rat.FromInt(1)
-	}
-	// Seed init events.
-	for i := 0; i < n; i++ {
-		heap.Push(&s.queue, &event{kind: trace.KindInit, node: i, from: -1, seq: s.nextSeq()})
-	}
-	for s.queue.Len() > 0 && s.err == nil {
-		ev, ok := heap.Pop(&s.queue).(*event)
-		if !ok {
-			return nil, errors.New("sim: corrupt event queue")
-		}
-		if ev.time.Greater(cfg.Duration) {
-			continue // beyond horizon; drain to keep ledger bookkeeping simple
-		}
-		s.dispatch(ev)
-	}
-	if s.err != nil {
-		return nil, s.err
-	}
-	return s.compile()
-}
-
-// logicalDecl is one logical-clock declaration: from hardware reading HW0 on,
-// L(H) = Value + Mult·(H − HW0). Real is the real time of the declaration.
-type logicalDecl struct {
-	Real  rat.Rat
-	HW0   rat.Rat
-	Value rat.Rat
-	Mult  rat.Rat
-}
-
-type state struct {
-	cfg      Config
-	queue    eventQueue
-	seq      uint64
-	now      rat.Rat
-	actions  []trace.Action
-	perNode  [][]int
-	ledger   map[trace.MsgKey]trace.MsgRecord
-	pairSeq  map[[2]int]uint64
-	runtimes []*Runtime
-	nodes    []Node
-	err      error
-}
-
-func (s *state) nextSeq() uint64 {
-	s.seq++
-	return s.seq
-}
-
-func (s *state) fail(err error) {
-	if s.err == nil {
-		s.err = err
-	}
-}
-
-func (s *state) record(a trace.Action) {
-	s.perNode[a.Node] = append(s.perNode[a.Node], len(s.actions))
-	s.actions = append(s.actions, a)
-}
-
-func (s *state) dispatch(ev *event) {
-	s.now = ev.time
-	rt := s.runtimes[ev.node]
-	hw := s.cfg.Schedules[ev.node].HW(ev.time)
-	rt.hwNow = hw
-	switch ev.kind {
-	case trace.KindInit:
-		s.record(trace.Action{Node: ev.node, Kind: trace.KindInit, Real: ev.time, HW: hw, Peer: -1})
-		s.nodes[ev.node].Init(rt)
-	case trace.KindTimer:
-		s.record(trace.Action{Node: ev.node, Kind: trace.KindTimer, Real: ev.time, HW: hw, Peer: -1, TimerID: ev.timerID})
-		s.nodes[ev.node].OnTimer(rt, ev.timerID)
-	case trace.KindRecv:
-		key := trace.MsgKey{From: ev.from, To: ev.node, Seq: ev.msgSeq}
-		rec := s.ledger[key]
-		rec.Delivered = true
-		rec.RecvReal = ev.time
-		s.ledger[key] = rec
-		s.record(trace.Action{Node: ev.node, Kind: trace.KindRecv, Real: ev.time, HW: hw,
-			Peer: ev.from, MsgSeq: ev.msgSeq, Payload: ev.payload.MsgString()})
-		s.nodes[ev.node].OnMessage(rt, ev.from, ev.payload)
-	default:
-		s.fail(fmt.Errorf("sim: unknown event kind %v", ev.kind))
-	}
-}
-
-func (s *state) compile() (*trace.Execution, error) {
-	n := s.cfg.Net.N()
-	exec := &trace.Execution{
-		Net:       s.cfg.Net,
-		Schedules: s.cfg.Schedules,
-		Duration:  s.cfg.Duration,
-		Actions:   s.actions,
-		PerNode:   s.perNode,
-		Ledger:    s.ledger,
-		Logical:   make([]*piecewise.PLF, n),
-		Hardware:  make([]*piecewise.PLF, n),
-	}
-	for i := 0; i < n; i++ {
-		exec.Hardware[i] = s.cfg.Schedules[i].HWFunc()
-		plf, err := compileLogical(s.cfg.Schedules[i], s.runtimes[i].decls, s.cfg.Duration)
-		if err != nil {
-			return nil, fmt.Errorf("sim: node %d logical clock: %w", i, err)
-		}
-		exec.Logical[i] = plf
-	}
-	return exec, nil
-}
-
-// compileLogical merges a node's logical-clock declarations with its
-// hardware rate schedule into an exact piecewise-linear L(t) over real time.
-// Between declarations, L(t) = Value + Mult·(H(t) − HW0), so within one
-// hardware rate segment the real-time slope is Mult·rate.
-func compileLogical(sched *clock.Schedule, decls []logicalDecl, duration rat.Rat) (*piecewise.PLF, error) {
-	if len(decls) == 0 {
-		return nil, errors.New("no logical declarations")
-	}
-	plf := piecewise.New(rat.Rat{}, decls[0].Value, decls[0].Mult.Mul(sched.RateAt(rat.Rat{})))
-	rateBreaks := sched.Rates()
-	ri := 0 // index of the rate segment in effect
-	advanceRate := func(t rat.Rat) {
-		for ri+1 < len(rateBreaks) && rateBreaks[ri+1].At.LessEq(t) {
-			ri++
-		}
-	}
-	cur := decls[0]
-	emit := func(at rat.Rat, d logicalDecl) error {
-		advanceRate(at)
-		v := d.Value.Add(d.Mult.Mul(sched.HW(at).Sub(d.HW0)))
-		return plf.Append(at, v, d.Mult.Mul(rateBreaks[ri].Rate))
-	}
-	for k := 1; k < len(decls); k++ {
-		d := decls[k]
-		// Rate breakpoints strictly between the previous declaration and this
-		// one change the real-time slope of the current declaration.
-		for _, rb := range rateBreaks {
-			if rb.At.Greater(cur.Real) && rb.At.Less(d.Real) && rb.At.LessEq(duration) {
-				if err := emit(rb.At, cur); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if d.Real.Greater(duration) {
-			return plf, nil
-		}
-		if err := emit(d.Real, d); err != nil {
-			return nil, err
-		}
-		cur = d
-	}
-	for _, rb := range rateBreaks {
-		if rb.At.Greater(cur.Real) && rb.At.LessEq(duration) {
-			if err := emit(rb.At, cur); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return plf, nil
-}
+func Run(cfg Config) (*trace.Execution, error) { return engine.Run(cfg) }

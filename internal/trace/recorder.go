@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"gcs/internal/clock"
+	"gcs/internal/network"
+	"gcs/internal/piecewise"
+	"gcs/internal/rat"
+)
+
+// Recorder is the full-trace observer: it buffers every action and message
+// record streamed by an engine, exactly reproducing the ledger and action
+// log the batch simulator used to build in place. Recording is just one more
+// observer — attach a Recorder for post-hoc analysis, or leave it off and
+// run with online trackers in O(1) memory per event.
+//
+// A Recorder must be attached before the first event is dispatched to
+// capture a complete trace.
+type Recorder struct {
+	actions []Action
+	perNode [][]int
+	ledger  map[MsgKey]MsgRecord
+}
+
+// NewRecorder returns a Recorder for an n-node system.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{
+		perNode: make([][]int, n),
+		ledger:  make(map[MsgKey]MsgRecord),
+	}
+}
+
+// OnAction implements the engine Observer interface: it appends the action
+// to the trace in processing order.
+func (r *Recorder) OnAction(a Action) {
+	r.perNode[a.Node] = append(r.perNode[a.Node], len(r.actions))
+	r.actions = append(r.actions, a)
+}
+
+// OnSend implements the engine Observer interface: it opens the message's
+// ledger entry.
+func (r *Recorder) OnSend(rec MsgRecord) { r.ledger[rec.Key] = rec }
+
+// OnDeliver implements the engine Observer interface: it closes the
+// message's ledger entry with the realized receive time.
+func (r *Recorder) OnDeliver(rec MsgRecord) { r.ledger[rec.Key] = rec }
+
+// Actions returns the number of actions recorded so far.
+func (r *Recorder) Actions() int { return len(r.actions) }
+
+// Messages returns the number of ledger entries recorded so far.
+func (r *Recorder) Messages() int { return len(r.ledger) }
+
+// Execution assembles the recorded trace with the environment and compiled
+// clocks into a complete Execution. The buffers are copied, so the returned
+// Execution is a stable snapshot: the engine can keep running (and the
+// Recorder keep recording) without corrupting it, and a later Execution
+// call yields the extended trace.
+func (r *Recorder) Execution(net *network.Network, scheds []*clock.Schedule, duration rat.Rat,
+	logical, hardware []*piecewise.PLF) *Execution {
+	var actions []Action
+	if r.actions != nil {
+		actions = make([]Action, len(r.actions))
+		copy(actions, r.actions)
+	}
+	perNode := make([][]int, len(r.perNode))
+	for i, idxs := range r.perNode {
+		if idxs == nil {
+			continue
+		}
+		perNode[i] = make([]int, len(idxs))
+		copy(perNode[i], idxs)
+	}
+	ledger := make(map[MsgKey]MsgRecord, len(r.ledger))
+	for k, v := range r.ledger {
+		ledger[k] = v
+	}
+	return &Execution{
+		Net:       net,
+		Schedules: scheds,
+		Duration:  duration,
+		Actions:   actions,
+		PerNode:   perNode,
+		Ledger:    ledger,
+		Logical:   logical,
+		Hardware:  hardware,
+	}
+}

@@ -87,6 +87,19 @@ func (a Action) observation() string {
 	return b.String()
 }
 
+// Decl is one logical-clock declaration by a node: from hardware reading HW0
+// on, L(H) = Value + Mult·(H − HW0). Real is the real time of the
+// declaration (adversary-visible only; nodes declare in terms of HW0).
+// Declarations are streamed to engine ClockObservers, which is how online
+// metrics follow logical clocks without retaining a trace.
+type Decl struct {
+	Node  int
+	Real  rat.Rat
+	HW0   rat.Rat
+	Value rat.Rat
+	Mult  rat.Rat
+}
+
 // MsgKey identifies the seq-th message sent from From to To in an execution.
 type MsgKey struct {
 	From, To int
