@@ -7,8 +7,10 @@ all: vet build test
 build:
 	$(GO) build ./...
 
+# -race gates the parallel search worker pool (internal/search), the repo's
+# only goroutines.
 test:
-	$(GO) test ./...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,21 +1,25 @@
 // Command gcsbench regenerates every experiment table of the reproduction
-// (E1–E11 plus the Figure 1 rendering, and the E12 streaming scale sweep).
-// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// (E1–E11 plus the Figure 1 rendering, the E12 streaming scale sweep, and
+// the E13 worst-case adversary search). See DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for the paper-vs-measured record.
 //
 // Usage:
 //
 //	gcsbench            # the standard suite (seconds)
 //	gcsbench -long      # extended sweeps (minutes; larger diameters)
-//	gcsbench -only E4   # one experiment (E1..E12)
+//	gcsbench -only E4   # one experiment (E1..E13)
 //	gcsbench -stream    # E12 only: online skew metrics on large lines
+//	gcsbench -json      # machine-readable tables (BENCH_*.json trend tracking)
 //
 // Output is buffered and printed only when the requested experiments all
 // succeed; on failure nothing but the error (on stderr, exit 1) is emitted,
-// so a partial table can never be mistaken for a complete run.
+// so a partial table can never be mistaken for a complete run. -json emits
+// the same tables as a JSON array of {id, title, header, rows, notes}
+// objects (non-tabular extras like the Figure 1 rendering are text-only).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +33,11 @@ import (
 
 func main() {
 	long := flag.Bool("long", false, "extended sweeps (larger diameters; minutes)")
-	only := flag.String("only", "", "run a single experiment (E1..E12)")
+	only := flag.String("only", "", "run a single experiment (E1..E13)")
 	stream := flag.Bool("stream", false, "run only the E12 streaming scale sweep")
+	jsonOut := flag.Bool("json", false, "emit experiment tables as machine-readable JSON")
 	flag.Parse()
-	out, err := run(*long, strings.ToUpper(*only), *stream)
+	out, err := run(*long, strings.ToUpper(*only), *stream, *jsonOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcsbench:", err)
 		os.Exit(1)
@@ -40,11 +45,18 @@ func main() {
 	fmt.Print(out)
 }
 
+// result is one experiment's output: its tables plus optional non-tabular
+// text (the Figure 1 rendering) that only the text mode prints.
+type result struct {
+	tables []*experiments.Table
+	extra  string
+}
+
 // experiment binds an -only id to its runner: the accepted id set and the
 // dispatch are the same data, so they cannot drift apart.
 type experiment struct {
 	id  string
-	run func(protos []sim.Protocol, long bool) (string, error)
+	run func(protos []sim.Protocol, long bool) (result, error)
 }
 
 // suite lists every experiment in output order (E11 reports seed stability
@@ -62,9 +74,10 @@ var suite = []experiment{
 	{"E11", runE11},
 	{"E10", runE10},
 	{"E12", runE12},
+	{"E13", runE13},
 }
 
-func run(long bool, only string, stream bool) (string, error) {
+func run(long bool, only string, stream, jsonOut bool) (string, error) {
 	if stream {
 		if only != "" && only != "E12" {
 			return "", fmt.Errorf("-stream runs only E12, but -only %s was requested", only)
@@ -80,84 +93,101 @@ func run(long bool, only string, stream bool) (string, error) {
 			}
 		}
 		if !found {
-			return "", fmt.Errorf("unknown experiment %q (want E1..E12)", only)
+			return "", fmt.Errorf("unknown experiment %q (want E1..E13)", only)
 		}
 	}
 	protos := algorithms.All()
 	var b strings.Builder
+	var tables []*experiments.Table
 	for _, e := range suite {
 		if only != "" && e.id != only {
 			continue
 		}
-		out, err := e.run(protos, long)
+		res, err := e.run(protos, long)
 		if err != nil {
 			return "", err
 		}
-		b.WriteString(out)
+		tables = append(tables, res.tables...)
+		if !jsonOut {
+			for _, t := range res.tables {
+				b.WriteString(t.Render())
+				b.WriteString("\n")
+			}
+			b.WriteString(res.extra)
+		}
+	}
+	if jsonOut {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("marshal tables: %w", err)
+		}
+		return string(data) + "\n", nil
 	}
 	return b.String(), nil
 }
 
-func runE1(protos []sim.Protocol, long bool) (string, error) {
+func runE1(protos []sim.Protocol, long bool) (result, error) {
 	opt := experiments.DefaultE1(protos)
 	if long {
 		opt.Distances = append(opt.Distances, 64, 128)
 	}
 	_, table, err := experiments.E1Shift(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE2(protos []sim.Protocol, long bool) (string, error) {
+func runE2(protos []sim.Protocol, long bool) (result, error) {
 	opt := experiments.DefaultE2(protos)
 	if long {
 		opt.Lines = append(opt.Lines, 65, 129)
 	}
 	_, table, figure, err := experiments.E2AddSkew(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n" +
-		"-- F1: Figure 1 (β rate schedule of the Add Skew lemma) --\n" +
-		figure + "\n", nil
+	return result{
+		tables: []*experiments.Table{table},
+		extra: "-- F1: Figure 1 (β rate schedule of the Add Skew lemma) --\n" +
+			figure + "\n",
+	}, nil
 }
 
-func runE3(protos []sim.Protocol, _ bool) (string, error) {
+func runE3(protos []sim.Protocol, _ bool) (result, error) {
 	opt := experiments.DefaultE3(protos)
 	_, table, err := experiments.E3BoundedIncrease(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE4(protos []sim.Protocol, long bool) (string, error) {
+func runE4(protos []sim.Protocol, long bool) (result, error) {
 	opt := experiments.DefaultE4(protos)
 	if long {
 		opt.RoundsList = append(opt.RoundsList, 4)
 	}
 	_, table, err := experiments.E4MainTheorem(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE5(protos []sim.Protocol, long bool) (string, error) {
+func runE5(protos []sim.Protocol, long bool) (result, error) {
 	opt := experiments.DefaultE5(protos)
 	if long {
 		opt.Dcs = append(opt.Dcs, 128)
 	}
 	_, table, err := experiments.E5Counterexample(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE6(protos []sim.Protocol, long bool) (string, error) {
+func runE6(protos []sim.Protocol, long bool) (result, error) {
 	opt := experiments.DefaultE6(protos)
 	if long {
 		opt.N = 33
@@ -165,63 +195,63 @@ func runE6(protos []sim.Protocol, long bool) (string, error) {
 	}
 	_, table, err := experiments.E6Profiles(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE7(protos []sim.Protocol, long bool) (string, error) {
+func runE7(protos []sim.Protocol, long bool) (result, error) {
 	opt := experiments.DefaultE7(protos)
 	if long {
 		opt.Diameters = append(opt.Diameters, 64)
 	}
 	_, table, err := experiments.E7TDMA(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE8(protos []sim.Protocol, _ bool) (string, error) {
+func runE8(protos []sim.Protocol, _ bool) (result, error) {
 	opt := experiments.DefaultE8(protos)
 	_, table, err := experiments.E8Applications(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE9(_ []sim.Protocol, _ bool) (string, error) {
+func runE9(_ []sim.Protocol, _ bool) (result, error) {
 	opt := experiments.DefaultE9()
 	_, _, gt, ct, err := experiments.E9Ablations(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return gt.Render() + "\n" + ct.Render() + "\n", nil
+	return result{tables: []*experiments.Table{gt, ct}}, nil
 }
 
-func runE10(protos []sim.Protocol, _ bool) (string, error) {
+func runE10(protos []sim.Protocol, _ bool) (result, error) {
 	opt := experiments.DefaultE10(protos)
 	_, table, err := experiments.E10Topologies(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE11(protos []sim.Protocol, long bool) (string, error) {
+func runE11(protos []sim.Protocol, long bool) (result, error) {
 	opt := experiments.DefaultE11(protos)
 	if long {
 		opt.Seeds = append(opt.Seeds, 55, 89, 144, 233)
 	}
 	_, table, err := experiments.E11Seeds(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
 }
 
-func runE12(_ []sim.Protocol, long bool) (string, error) {
+func runE12(_ []sim.Protocol, long bool) (result, error) {
 	// Streaming scale: the max-based strawman vs the gradient algorithm.
 	opt := experiments.DefaultE12([]sim.Protocol{
 		algorithms.MaxGossip(rat.FromInt(1)),
@@ -233,7 +263,25 @@ func runE12(_ []sim.Protocol, long bool) (string, error) {
 	}
 	_, table, err := experiments.E12StreamScale(opt)
 	if err != nil {
-		return "", err
+		return result{}, err
 	}
-	return table.Render() + "\n", nil
+	return result{tables: []*experiments.Table{table}}, nil
+}
+
+func runE13(protos []sim.Protocol, long bool) (result, error) {
+	opt, err := experiments.DefaultE13(protos)
+	if err != nil {
+		return result{}, err
+	}
+	if long {
+		opt, err = experiments.LongE13Cells(opt)
+		if err != nil {
+			return result{}, err
+		}
+	}
+	_, table, err := experiments.E13SearchWorstCase(opt)
+	if err != nil {
+		return result{}, err
+	}
+	return result{tables: []*experiments.Table{table}}, nil
 }

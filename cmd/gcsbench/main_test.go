@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -8,10 +9,10 @@ import (
 // TestSingleExperiments exercises the fast experiments end to end through
 // the CLI path. (E4 and the full suite are covered by the root benchmarks.)
 func TestSingleExperiments(t *testing.T) {
-	for _, id := range []string{"E1", "E3", "E5"} {
+	for _, id := range []string{"E1", "E3", "E5", "E13"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			out, err := run(false, id, false)
+			out, err := run(false, id, false, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -25,14 +26,14 @@ func TestSingleExperiments(t *testing.T) {
 // TestUnknownExperimentErrors: a typo'd -only filter must fail loudly
 // instead of silently running nothing and exiting 0.
 func TestUnknownExperimentErrors(t *testing.T) {
-	if _, err := run(false, "E99", false); err == nil {
+	if _, err := run(false, "E99", false, false); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
 
 // TestStreamMode runs the E12 streaming sweep (small sizes keep it fast).
 func TestStreamMode(t *testing.T) {
-	out, err := run(false, "", true)
+	out, err := run(false, "", true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,78 @@ func TestStreamMode(t *testing.T) {
 
 // TestStreamOnlyConflict: -stream with a different -only is contradictory.
 func TestStreamOnlyConflict(t *testing.T) {
-	if _, err := run(false, "E3", true); err == nil {
+	if _, err := run(false, "E3", true, false); err == nil {
 		t.Fatal("conflicting -stream and -only should error")
+	}
+}
+
+// TestJSONMode: -json emits the same tables as a machine-readable array
+// with the stable {id, title, header, rows} schema and no text rendering.
+func TestJSONMode(t *testing.T) {
+	out, err := run(false, "E13", false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "== E13:") {
+		t.Fatal("-json output contains text-rendered tables")
+	}
+	var tables []struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(tables) != 1 || tables[0].ID != "E13" {
+		t.Fatalf("expected exactly the E13 table, got %+v", tables)
+	}
+	if len(tables[0].Rows) == 0 || len(tables[0].Header) == 0 {
+		t.Fatal("JSON table missing rows or header")
+	}
+	for _, row := range tables[0].Rows {
+		if len(row) != len(tables[0].Header) {
+			t.Fatalf("row width %d != header width %d", len(row), len(tables[0].Header))
+		}
+	}
+}
+
+// TestJSONModeMultiTable: an experiment emitting several tables (E9) keeps
+// them as separate JSON objects.
+func TestJSONModeMultiTable(t *testing.T) {
+	out, err := run(false, "E9", false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E9 should emit 2 tables, got %d", len(tables))
+	}
+}
+
+// TestE13AllCellsOK: the acceptance bar for the search sweep — every
+// protocol × topology cell reports ok (searched ≥ baseline, and ≥ the
+// certified Shift bound on the two-node cells).
+func TestE13AllCellsOK(t *testing.T) {
+	out, err := run(false, "E13", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "==") || strings.HasPrefix(line, "note:") ||
+			strings.HasPrefix(line, "protocol") || strings.HasPrefix(line, "---") ||
+			strings.TrimSpace(line) == "" {
+			continue
+		}
+		if !strings.HasSuffix(strings.TrimRight(line, " "), "yes") {
+			t.Fatalf("E13 cell not ok: %q", line)
+		}
 	}
 }

@@ -6,18 +6,27 @@
 //	gcssim -proto gradient -topology line -n 17 -dur 50 -profile
 //	gcssim -proto max-gossip -topology grid -n 16 -adversary random -seed 3
 //	gcssim -stream -proto gradient -topology line -n 257 -dur 200
+//	gcssim -search -proto gradient -topology line -n 5 -dur 8 -objective global
 //
 // The default mode records the full execution and runs the post-hoc
 // checkers. -stream drives the incremental engine with online trackers
 // instead: no trace is retained, so networks and durations far beyond what
 // the recorded path can hold in memory report the same skew metrics.
 // (-chart needs the recorded clocks and is unavailable with -stream.)
+//
+// -search hunts a worst-case execution instead of running a single fixed
+// scenario: a deterministic parallel beam search over per-message delay and
+// per-node rate choices, seeded by (and falling back to) the -adversary
+// selection, maximizing -objective. It reports the searched worst-case skew
+// next to the seed's baseline; base schedules are rate-1 (the search flips
+// rates itself, so -fastend does not apply).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gcs/internal/algorithms"
 	"gcs/internal/clock"
@@ -26,6 +35,7 @@ import (
 	"gcs/internal/network"
 	"gcs/internal/plot"
 	"gcs/internal/rat"
+	"gcs/internal/search"
 	"gcs/internal/sim"
 	"gcs/internal/trace"
 )
@@ -43,9 +53,24 @@ func main() {
 		profile   = flag.Bool("profile", false, "print the empirical gradient profile f̂(d)")
 		chart     = flag.Bool("chart", false, "plot worst-pair and worst-adjacent skew over time (recorded mode only)")
 		stream    = flag.Bool("stream", false, "stream the run through online trackers instead of recording a trace")
+		doSearch  = flag.Bool("search", false, "hunt a worst-case execution (parallel adversary search) instead of one run")
+		objective = flag.String("objective", "global", "search objective: global | local | margin (with -search)")
+		rounds    = flag.Int("rounds", 0, "search mutation rounds (0 = default)")
+		beam      = flag.Int("beam", 0, "search beam width (0 = default)")
+		workers   = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd, *profile, *chart, *stream); err != nil {
+	var err error
+	if *doSearch {
+		err = searchFlagConflicts(*stream, *profile)
+		if err == nil {
+			err = runSearch(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed,
+				*objective, *rounds, *beam, *workers, *chart)
+		}
+	} else {
+		err = run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd, *profile, *chart, *stream)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcssim:", err)
 		os.Exit(1)
 	}
@@ -160,6 +185,110 @@ func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed
 func header(protoName string, net *network.Network, dur, rho rat.Rat, advName, mode string) string {
 	return fmt.Sprintf("%s on %s (%d nodes, diameter %s), duration %s, ρ=%s, adversary %s [%s]\n",
 		protoName, net.Name(), net.N(), net.Diameter(), dur, rho, advName, mode)
+}
+
+// searchFlagConflicts rejects flag combinations -search cannot honor, loudly
+// — the same convention -chart/-stream enforce — instead of silently
+// ignoring them. (-fastend is additionally rejected only when set
+// explicitly: its default is true.)
+func searchFlagConflicts(stream, profile bool) error {
+	if stream {
+		return fmt.Errorf("-search runs its own engine fleet; drop -stream")
+	}
+	if profile {
+		return fmt.Errorf("-profile needs a single run's trackers; drop -profile or run without -search")
+	}
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fastend" {
+			err = fmt.Errorf("-search explores rate schedules itself (rate-1 base); drop -fastend")
+		}
+	})
+	return err
+}
+
+// runSearch hunts a skew-maximizing execution: the -adversary selection
+// seeds the search and serves as the tail for unscripted decisions.
+func runSearch(protoName, topology string, n int, durStr, rhoStr, advName string, seed uint64,
+	objectiveName string, rounds, beam, workers int, chart bool) error {
+	if chart {
+		return fmt.Errorf("-chart needs a recorded run; drop -chart or run without -search")
+	}
+	dur, err := rat.Parse(durStr)
+	if err != nil {
+		return fmt.Errorf("duration: %w", err)
+	}
+	if dur.Sign() <= 0 {
+		return fmt.Errorf("non-positive duration %s", dur)
+	}
+	rho, err := rat.Parse(rhoStr)
+	if err != nil {
+		return fmt.Errorf("rho: %w", err)
+	}
+	obj, err := search.ParseObjective(objectiveName)
+	if err != nil {
+		return err
+	}
+	net, err := buildNetwork(topology, n, seed)
+	if err != nil {
+		return err
+	}
+	proto, err := buildProtocol(protoName)
+	if err != nil {
+		return err
+	}
+	base, err := buildAdversary(advName, seed)
+	if err != nil {
+		return err
+	}
+	opt := search.Options{
+		Net:       net,
+		Protocol:  proto,
+		Duration:  dur,
+		Rho:       rho,
+		Base:      base,
+		Objective: obj,
+		Rounds:    rounds,
+		Beam:      beam,
+		Workers:   workers,
+	}
+	if obj == search.ObjectiveGradientMargin {
+		// Compare against the linear envelope f(d) = 1 + d: a margin > 0
+		// certifies the searched execution breaks it.
+		opt.Gradient = core.LinearGradient(rat.FromInt(1), rat.FromInt(1))
+	}
+	res, err := search.Search(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(header(protoName, net, dur, rho, advName, "searched worst case"))
+	if obj == search.ObjectiveGradientMargin {
+		fmt.Printf("  objective: margin over f(d) = 1 + d (positive = gradient violation)\n")
+	} else {
+		fmt.Printf("  objective: %s skew\n", res.Objective)
+	}
+	fmt.Printf("  baseline (seed adversary): %s\n", res.Baseline)
+	fmt.Printf("  searched worst case:       %s", res.Best)
+	if res.Best.Greater(res.Baseline) && res.Baseline.Sign() > 0 {
+		fmt.Printf("   (%.2fx baseline)", res.Best.Float64()/res.Baseline.Float64())
+	}
+	fmt.Println()
+	w := res.Witness
+	fmt.Printf("  witness: pair (%d,%d) at t=%s, distance %s\n", w.I, w.J, w.At, w.Dist)
+	fmt.Printf("  search: %d rounds, %d candidate executions evaluated\n", res.Rounds, res.Evaluated)
+	var flips []string
+	for i, r := range res.Rates {
+		if !r.IsZero() {
+			flips = append(flips, fmt.Sprintf("node %d → %s", i, r))
+		}
+	}
+	if len(flips) > 0 {
+		fmt.Printf("  rate overrides: %s\n", strings.Join(flips, ", "))
+	} else {
+		fmt.Printf("  rate overrides: none\n")
+	}
+	fmt.Printf("  script: %d scripted delays (replayable via ScriptedAdversary)\n", len(res.Script))
+	return nil
 }
 
 // runStream drives the incremental engine with online trackers: O(nodes²)

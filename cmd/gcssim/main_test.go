@@ -67,3 +67,54 @@ func TestStreamMatchesRecordedCLI(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchMode exercises the worst-case hunter through the CLI path for
+// every objective and with a non-default seed adversary.
+func TestSearchMode(t *testing.T) {
+	cases := []struct {
+		name      string
+		proto     string
+		topology  string
+		n         int
+		adv       string
+		objective string
+	}{
+		{"global gradient line", "gradient", "line", 4, "midpoint", "global"},
+		{"local max-gossip ring", "max-gossip", "ring", 4, "random", "local"},
+		{"margin null line", "null", "line", 3, "zero", "margin"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := runSearch(tc.proto, tc.topology, tc.n, "6", "1/2", tc.adv, 3,
+				tc.objective, 2, 1, 2, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSearchModeErrors: search-mode flag validation fails loudly.
+func TestSearchModeErrors(t *testing.T) {
+	cases := []struct {
+		name                                      string
+		proto, topology, dur, rho, adv, objective string
+		chart                                     bool
+	}{
+		{"bad objective", "null", "line", "6", "1/2", "midpoint", "chaos", false},
+		{"bad duration", "null", "line", "x", "1/2", "midpoint", "global", false},
+		{"zero duration", "null", "line", "0", "1/2", "midpoint", "global", false},
+		{"bad rho", "null", "line", "6", "x", "midpoint", "global", false},
+		{"bad proto", "nope", "line", "6", "1/2", "midpoint", "global", false},
+		{"bad topology", "null", "torus", "6", "1/2", "midpoint", "global", false},
+		{"bad adversary", "null", "line", "6", "1/2", "chaos", "global", false},
+		{"chart conflict", "null", "line", "6", "1/2", "midpoint", "global", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := runSearch(tc.proto, tc.topology, 4, tc.dur, tc.rho, tc.adv, 1,
+				tc.objective, 1, 1, 1, tc.chart); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

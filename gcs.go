@@ -77,6 +77,7 @@ import (
 	"gcs/internal/network"
 	"gcs/internal/plot"
 	"gcs/internal/rat"
+	"gcs/internal/search"
 	"gcs/internal/sim"
 	"gcs/internal/trace"
 	"gcs/internal/workload"
@@ -154,6 +155,9 @@ type (
 	Message = sim.Message
 	// Adversary chooses message delays.
 	Adversary = sim.Adversary
+	// CheckedAdversary is an Adversary whose decision can fail with a
+	// precise error (e.g. an exhausted script with no fallback).
+	CheckedAdversary = sim.CheckedAdversary
 	// FractionAdversary delays every message by a fixed fraction of the
 	// bound.
 	FractionAdversary = sim.FractionAdversary
@@ -298,6 +302,38 @@ var (
 	NewSkewTracker     = core.NewSkewTracker
 	NewGradientTracker = core.NewGradientTracker
 	NewValidityTracker = core.NewValidityTracker
+)
+
+// Worst-case adversary search (internal/search): hunt skew-maximizing
+// executions by replay-based branching over delay and drift choices,
+// evaluated on a deterministic parallel worker pool.
+type (
+	// SearchOptions configures a worst-case search.
+	SearchOptions = search.Options
+	// SearchResult is the best adversary found, as a replayable script plus
+	// rate overrides with the certifying objective values.
+	SearchResult = search.Result
+	// SearchObjective selects the maximized quantity.
+	SearchObjective = search.Objective
+	// Decision is one captured per-message delay choice.
+	Decision = search.Decision
+	// DecisionLog is an engine observer converting a run's delay decisions
+	// into a replayable script.
+	DecisionLog = search.DecisionLog
+)
+
+// Search objectives.
+const (
+	ObjectiveGlobalSkew     = search.ObjectiveGlobalSkew
+	ObjectiveLocalSkew      = search.ObjectiveLocalSkew
+	ObjectiveGradientMargin = search.ObjectiveGradientMargin
+)
+
+// Search drivers.
+var (
+	Search         = search.Search
+	NewDecisionLog = search.NewDecisionLog
+	ParseObjective = search.ParseObjective
 )
 
 // Lower-bound constructions (§5–§8 of the paper).

@@ -37,6 +37,57 @@ func TestPublicQuickstartPath(t *testing.T) {
 	}
 }
 
+// TestPublicSearchPath: the worst-case adversary hunter through the public
+// facade — searched skew must beat the certified two-node Shift bound, and
+// the result must replay through the public engine API.
+func TestPublicSearchPath(t *testing.T) {
+	d := gcs.R(2)
+	net, err := gcs.TwoNode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := gcs.Gradient(gcs.DefaultGradientParams())
+	res, err := gcs.Search(gcs.SearchOptions{
+		Net:       net,
+		Protocol:  proto,
+		Duration:  gcs.R(4),
+		Rho:       gcs.Frac(1, 2),
+		Objective: gcs.ObjectiveGlobalSkew,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift, err := gcs.Shift(proto, d, gcs.DefaultLowerBoundParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Less(shift.Implied) {
+		t.Fatalf("searched worst case %s below certified Shift bound %s", res.Best, shift.Implied)
+	}
+	// Replay the searched adversary through the public engine API.
+	scheds := res.ReplaySchedules(gcs.ConstantSchedules(2, gcs.R(1)))
+	skew, err := gcs.NewSkewTracker(net, scheds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := gcs.NewEngine(net,
+		gcs.WithProtocol(proto),
+		gcs.WithAdversary(res.ReplayAdversary(gcs.Midpoint())),
+		gcs.WithSchedules(scheds),
+		gcs.WithRho(gcs.Frac(1, 2)),
+		gcs.WithObservers(skew),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(gcs.R(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !skew.Global().Skew.Equal(res.Best) {
+		t.Fatalf("replay skew %s != searched %s", skew.Global().Skew, res.Best)
+	}
+}
+
 func TestPublicLowerBoundPath(t *testing.T) {
 	p := gcs.DefaultLowerBoundParams()
 	res, err := gcs.Shift(gcs.MaxGossip(gcs.R(1)), gcs.R(4), p)

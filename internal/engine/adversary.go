@@ -1,12 +1,26 @@
 package engine
 
 import (
+	"fmt"
 	"hash/fnv"
 	"strconv"
 
 	"gcs/internal/rat"
 	"gcs/internal/trace"
 )
+
+// CheckedAdversary is an optional Adversary extension for adversaries whose
+// delay decision can fail (for example, a script with no entry for a message
+// and no fallback). When the engine's adversary implements it, the engine
+// calls DelayChecked instead of Delay and fails the run with the returned
+// error — a precise diagnosis instead of a generic range violation or a
+// panic deep inside the event loop.
+type CheckedAdversary interface {
+	Adversary
+	// DelayChecked returns the delay for the message, or an error when the
+	// adversary defines no decision for it.
+	DelayChecked(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) (rat.Rat, error)
+}
 
 // FractionAdversary assigns every message the delay frac·bound. frac must be
 // in [0, 1]. The paper's constructions use frac = 1/2 ("message delay
@@ -26,21 +40,45 @@ func (a FractionAdversary) Delay(_, _ int, _ uint64, _ rat.Rat, bound rat.Rat) r
 func Midpoint() FractionAdversary { return FractionAdversary{Frac: rat.MustFrac(1, 2)} }
 
 // ScriptedAdversary replays exact per-message delays from a script, falling
-// back to Fallback for messages outside the script. The Add Skew
-// re-simulation uses it to realize the remapped receive times.
+// back to the Fallback tail adversary for messages beyond the script. The
+// Add Skew re-simulation uses it to realize the remapped receive times, and
+// the worst-case search (internal/search) uses it to branch a run: a
+// captured decision prefix replays exactly while decisions past the script
+// end are delegated to the tail.
+//
+// Semantics past the script end are explicit: a message with no script entry
+// is delegated to Fallback, and a nil Fallback is a scripting error —
+// DelayChecked reports it, the engine fails the run with it, and a direct
+// Delay call panics with the same message (it has no error channel).
 type ScriptedAdversary struct {
 	Delays   map[trace.MsgKey]rat.Rat
 	Fallback Adversary
 }
 
-var _ Adversary = ScriptedAdversary{}
+var _ CheckedAdversary = ScriptedAdversary{}
 
-// Delay implements Adversary.
+// Delay implements Adversary. It panics on a message outside the script when
+// no Fallback is set; inside an Engine the CheckedAdversary path turns that
+// condition into a failed run instead.
 func (a ScriptedAdversary) Delay(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) rat.Rat {
-	if d, ok := a.Delays[trace.MsgKey{From: from, To: to, Seq: seq}]; ok {
-		return d
+	d, err := a.DelayChecked(from, to, seq, sendReal, bound)
+	if err != nil {
+		panic(err)
 	}
-	return a.Fallback.Delay(from, to, seq, sendReal, bound)
+	return d
+}
+
+// DelayChecked implements CheckedAdversary: it returns the scripted delay,
+// delegates to the Fallback tail for messages beyond the script, and errors
+// when the script is exhausted with no tail to fall back to.
+func (a ScriptedAdversary) DelayChecked(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) (rat.Rat, error) {
+	if d, ok := a.Delays[trace.MsgKey{From: from, To: to, Seq: seq}]; ok {
+		return d, nil
+	}
+	if a.Fallback == nil {
+		return rat.Rat{}, fmt.Errorf("engine: scripted adversary has no delay for message %d→%d seq %d and no Fallback tail (script exhausted?)", from, to, seq)
+	}
+	return a.Fallback.Delay(from, to, seq, sendReal, bound), nil
 }
 
 // FuncAdversary adapts a function to the Adversary interface. The function

@@ -82,7 +82,17 @@ func (rt *Runtime) Send(to int, msg Message) {
 	seq := e.pairSeq[pair]
 	e.pairSeq[pair] = seq + 1
 	bound := e.net.Dist(rt.id, to)
-	delay := e.adv.Delay(rt.id, to, seq, e.now, bound)
+	var delay rat.Rat
+	if ca, ok := e.adv.(CheckedAdversary); ok {
+		var derr error
+		delay, derr = ca.DelayChecked(rt.id, to, seq, e.now, bound)
+		if derr != nil {
+			e.fail(derr)
+			return
+		}
+	} else {
+		delay = e.adv.Delay(rt.id, to, seq, e.now, bound)
+	}
 	if delay.Sign() < 0 || delay.Greater(bound) {
 		e.fail(fmt.Errorf("engine: adversary delay %s for %d→%d (seq %d) outside [0, %s]",
 			delay, rt.id, to, seq, bound))

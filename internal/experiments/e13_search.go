@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gcs/internal/lowerbound"
+	"gcs/internal/network"
+	"gcs/internal/rat"
+	"gcs/internal/search"
+	"gcs/internal/sim"
+)
+
+// E13Cell is one topology instance of the worst-case search sweep.
+type E13Cell struct {
+	Name     string
+	Net      *network.Network
+	Duration rat.Rat
+}
+
+// E13Options configures the adversary-search experiment: for every protocol
+// × topology cell, hunt a skew-maximizing execution and compare it with the
+// Midpoint baseline and (at the cell's diameter) the certified Shift bound.
+type E13Options struct {
+	Protocols []sim.Protocol
+	Cells     []E13Cell
+	Params    lowerbound.Params
+
+	// Search budget per cell.
+	Rounds         int
+	Beam           int
+	DelayMutations int
+	Workers        int
+}
+
+// DefaultE13 returns the benchmark configuration: the two-node network the
+// Shift bound certifies (searched over the same horizon τ·d the
+// construction uses) plus a short drifting line.
+func DefaultE13(protos []sim.Protocol) (E13Options, error) {
+	p := lowerbound.DefaultParams()
+	d := rat.FromInt(2)
+	two, err := network.TwoNode(d)
+	if err != nil {
+		return E13Options{}, err
+	}
+	line, err := network.Line(5)
+	if err != nil {
+		return E13Options{}, err
+	}
+	return E13Options{
+		Protocols: protos,
+		Cells: []E13Cell{
+			{Name: "two-node d=2", Net: two, Duration: p.Tau().Mul(d)},
+			{Name: "line n=5", Net: line, Duration: rat.FromInt(8)},
+		},
+		Params:         p,
+		Rounds:         3,
+		Beam:           2,
+		DelayMutations: 8,
+	}, nil
+}
+
+// LongE13Cells appends the larger sweeps of -long mode.
+func LongE13Cells(opt E13Options) (E13Options, error) {
+	d := rat.FromInt(4)
+	two, err := network.TwoNode(d)
+	if err != nil {
+		return opt, err
+	}
+	ring, err := network.Ring(6)
+	if err != nil {
+		return opt, err
+	}
+	opt.Cells = append(opt.Cells,
+		E13Cell{Name: "two-node d=4", Net: two, Duration: opt.Params.Tau().Mul(d)},
+		E13Cell{Name: "ring n=6", Net: ring, Duration: rat.FromInt(10)},
+	)
+	opt.Rounds++
+	return opt, nil
+}
+
+// E13Row is one protocol × topology measurement.
+type E13Row struct {
+	Protocol string
+	Cell     string
+	Baseline rat.Rat // global skew under the Midpoint seed
+	Searched rat.Rat // searched worst-case global skew
+	// ShiftBound is the certified two-node lower bound at the cell's
+	// diameter (max measured skew of the Shift construction's execution
+	// pair) — the floor any sound worst-case hunter must reach on the
+	// two-node cells, and a reference line elsewhere.
+	ShiftBound rat.Rat
+	Evaluated  int
+	OK         bool // Searched ≥ Baseline, and ≥ ShiftBound on two-node cells
+}
+
+// E13SearchWorstCase runs the parallel adversary search across the protocol
+// portfolio: the repo's first workload where the simulator is driven by an
+// optimizer instead of a fixed scenario. "OK" asserts the searched adversary
+// dominates the Midpoint baseline everywhere and recovers at least the
+// certified Shift separation on the two-node cells.
+func E13SearchWorstCase(opt E13Options) ([]E13Row, *Table, error) {
+	var rows []E13Row
+	for _, proto := range opt.Protocols {
+		for _, cell := range opt.Cells {
+			res, err := search.Search(search.Options{
+				Net:            cell.Net,
+				Protocol:       proto,
+				Duration:       cell.Duration,
+				Rho:            opt.Params.Rho,
+				Objective:      search.ObjectiveGlobalSkew,
+				Rounds:         opt.Rounds,
+				Beam:           opt.Beam,
+				DelayMutations: opt.DelayMutations,
+				Workers:        opt.Workers,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("e13 %s %s: %w", proto.Name(), cell.Name, err)
+			}
+			shift, err := lowerbound.Shift(proto, cell.Net.Diameter(), opt.Params)
+			if err != nil {
+				return nil, nil, fmt.Errorf("e13 %s %s shift reference: %w", proto.Name(), cell.Name, err)
+			}
+			ok := res.Best.GreaterEq(res.Baseline)
+			if cell.Net.N() == 2 {
+				ok = ok && res.Best.GreaterEq(shift.Implied)
+			}
+			rows = append(rows, E13Row{
+				Protocol:   proto.Name(),
+				Cell:       cell.Name,
+				Baseline:   res.Baseline,
+				Searched:   res.Best,
+				ShiftBound: shift.Implied,
+				Evaluated:  res.Evaluated,
+				OK:         ok,
+			})
+		}
+	}
+	table := &Table{
+		ID:     "E13",
+		Title:  "worst-case adversary search: searched skew vs Midpoint baseline and certified Shift bound",
+		Header: []string{"protocol", "topology", "midpoint", "searched", "shift f(D)≥", "evals", "ok"},
+	}
+	allOK := true
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			r.Protocol, r.Cell, fmtRat(r.Baseline), fmtRat(r.Searched),
+			fmtRat(r.ShiftBound), fmt.Sprintf("%d", r.Evaluated), fmtBool(r.OK),
+		})
+		allOK = allOK && r.OK
+	}
+	if allOK {
+		table.Notes = append(table.Notes,
+			"searched adversaries dominate the Midpoint baseline on every cell and recover",
+			"the certified Shift separation on the two-node cells — the automated hunter is",
+			"at least as strong as the paper's hand construction there")
+	} else {
+		table.Notes = append(table.Notes, "some cell fell below its floor — investigate")
+	}
+	return rows, table, nil
+}

@@ -15,6 +15,11 @@
 //	E6  §1/§4           empirical gradient profiles f̂(d) per algorithm
 //	E7  §1 (TDMA)       guard-band feasibility vs diameter
 //	E8  §1 (apps)       data fusion consistency and tracking velocity error
+//	E9  ablations       gradient/counterexample parameter sensitivity
+//	E10 topologies      skew metrics across topology families
+//	E11 seeds           seed stability of the randomized sweeps
+//	E12 streaming       online skew at line sizes beyond the recorded path
+//	E13 search          worst-case adversary search vs baseline and Shift bound
 package experiments
 
 import (
@@ -24,14 +29,15 @@ import (
 	"gcs/internal/rat"
 )
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result. The JSON tags are the stable
+// machine-readable schema emitted by gcsbench -json.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 	// Notes holds free-form commentary lines (paper-vs-measured verdicts).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Render formats the table as aligned text.

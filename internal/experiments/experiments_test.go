@@ -308,3 +308,33 @@ func TestE12(t *testing.T) {
 		t.Error("table missing E12 id")
 	}
 }
+
+func TestE13(t *testing.T) {
+	opt, err := DefaultE13(smallProtos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, table, err := E13SearchWorstCase(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(smallProtos())*len(opt.Cells) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(smallProtos())*len(opt.Cells))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s on %s: searched %s below its floor (baseline %s, shift %s)",
+				r.Protocol, r.Cell, r.Searched, r.Baseline, r.ShiftBound)
+		}
+		if r.Searched.Less(r.Baseline) {
+			t.Errorf("%s on %s: searched %s < midpoint baseline %s",
+				r.Protocol, r.Cell, r.Searched, r.Baseline)
+		}
+		if r.Evaluated == 0 {
+			t.Errorf("%s on %s: no candidates evaluated", r.Protocol, r.Cell)
+		}
+	}
+	if !strings.Contains(table.Render(), "E13") {
+		t.Error("table missing E13 id")
+	}
+}

@@ -1,0 +1,91 @@
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gcs/internal/algorithms"
+	"gcs/internal/network"
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// benchCandidates builds a fixed, deterministic candidate batch by capturing
+// the base run and snapping one sampled decision per candidate — the exact
+// per-round workload of the search loop.
+func benchCandidates(b *testing.B, opt Options) []candidate {
+	b.Helper()
+	if err := normalize(&opt); err != nil {
+		b.Fatal(err)
+	}
+	seedEval := evaluate(opt, candidate{rates: make([]rat.Rat, opt.Net.N())})
+	if seedEval.err != nil {
+		b.Fatal(seedEval.err)
+	}
+	return mutations(opt, seedEval)
+}
+
+// BenchmarkSearch measures candidate-evaluation throughput of one search
+// round as the worker pool grows: evaluations are independent simulations,
+// so the speedup should stay near-linear until the core count is exhausted.
+func BenchmarkSearch(b *testing.B) {
+	net, err := network.Line(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{
+		Net:            net,
+		Protocol:       algorithms.Gradient(algorithms.DefaultGradientParams()),
+		Duration:       rat.FromInt(24),
+		Rho:            rat.MustFrac(1, 2),
+		DelayMutations: 12,
+	}
+	if err := normalize(&opt); err != nil {
+		b.Fatal(err)
+	}
+	cands := benchCandidates(b, opt)
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := opt
+			o.Workers = workers
+			b.ReportMetric(float64(len(cands)), "candidates/op")
+			for i := 0; i < b.N; i++ {
+				results := evalAll(o, cands)
+				for _, ev := range results {
+					if ev.err != nil {
+						b.Fatal(ev.err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchEndToEnd measures a whole small search, the unit gcsbench's
+// E13 runs per protocol × topology cell.
+func BenchmarkSearchEndToEnd(b *testing.B) {
+	net, err := network.TwoNode(rat.FromInt(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{
+		Net:            net,
+		Protocol:       algorithms.Gradient(algorithms.DefaultGradientParams()),
+		Duration:       rat.FromInt(8),
+		Rho:            rat.MustFrac(1, 2),
+		Rounds:         3,
+		Beam:           2,
+		DelayMutations: 8,
+	}
+	var sink map[trace.MsgKey]rat.Rat
+	for i := 0; i < b.N; i++ {
+		res, err := Search(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = res.Script
+	}
+	_ = sink
+}

@@ -1,0 +1,118 @@
+// Package search hunts worst-case executions: it drives the deterministic
+// engine under candidate adversaries and maximizes a skew objective read
+// from the online trackers, looking for the delay and drift choices that
+// force the most skew out of a protocol.
+//
+// Fan & Lynch's lower bounds are adversary constructions — executions whose
+// drift and delay choices are tuned to force skew. The simulator replays the
+// paper's two special-cased constructions exactly (internal/lowerbound); this
+// package asks the complementary empirical question: how much skew can an
+// automated adversary force on an arbitrary protocol and topology, and how
+// close does that come to the certified bounds?
+//
+// The search is replay-based: a DecisionLog observer captures every
+// per-message delay decision of a run as a replayable script, candidate
+// mutations edit one decision (delay snapped to {0, bound/2, bound}) or one
+// node's rate (flipped within ±ρ), and every candidate is re-simulated from
+// scratch under a ScriptedAdversary whose tail handles decisions beyond the
+// script. No engine state is ever cloned or shared. Candidates are evaluated
+// concurrently by a bounded worker pool — each worker owns an independent
+// Engine and trackers — and reduced by deterministic argmax with ties broken
+// on candidate index, so the result is byte-identical regardless of worker
+// count or GOMAXPROCS.
+package search
+
+import (
+	"fmt"
+
+	"gcs/internal/engine"
+	"gcs/internal/network"
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// Decision is one captured per-message delay choice: the message identity,
+// when it was sent, the adversary's chosen delay, and the bound d(from,to)
+// the choice was made within.
+type Decision struct {
+	Key      trace.MsgKey
+	SendReal rat.Rat
+	Delay    rat.Rat
+	Bound    rat.Rat
+}
+
+// DecisionLog is an engine observer that captures every per-message delay
+// decision from the MsgRecord stream, in send order, and converts the run
+// into a replayable script for engine.ScriptedAdversary. Attach it with
+// Engine.Observe before the first step to capture the complete run.
+type DecisionLog struct {
+	net       *network.Network
+	decisions []Decision
+}
+
+// NewDecisionLog returns a log for runs over net (needed to recover each
+// decision's delay bound).
+func NewDecisionLog(net *network.Network) *DecisionLog {
+	return &DecisionLog{net: net}
+}
+
+// OnAction implements the engine Observer interface (no-op).
+func (l *DecisionLog) OnAction(trace.Action) {}
+
+// OnSend implements the engine Observer interface: every send is one delay
+// decision, captured at the moment the adversary fixed it.
+func (l *DecisionLog) OnSend(rec trace.MsgRecord) {
+	l.decisions = append(l.decisions, Decision{
+		Key:      rec.Key,
+		SendReal: rec.SendReal,
+		Delay:    rec.Delay,
+		Bound:    l.net.Dist(rec.Key.From, rec.Key.To),
+	})
+}
+
+// OnDeliver implements the engine Observer interface (no-op).
+func (l *DecisionLog) OnDeliver(trace.MsgRecord) {}
+
+// Len returns the number of captured decisions.
+func (l *DecisionLog) Len() int { return len(l.decisions) }
+
+// Decisions returns the captured decisions in send order. The caller must
+// not modify the returned slice.
+func (l *DecisionLog) Decisions() []Decision { return l.decisions }
+
+// Script converts the captured run into a replayable delay script.
+func (l *DecisionLog) Script() map[trace.MsgKey]rat.Rat {
+	out := make(map[trace.MsgKey]rat.Rat, len(l.decisions))
+	for _, d := range l.decisions {
+		out[d.Key] = d.Delay
+	}
+	return out
+}
+
+// ScriptPrefix converts the first k decisions into a script; decisions
+// beyond the prefix are left to a tail adversary at replay time. k is
+// clamped to [0, Len()].
+func (l *DecisionLog) ScriptPrefix(k int) map[trace.MsgKey]rat.Rat {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(l.decisions) {
+		k = len(l.decisions)
+	}
+	out := make(map[trace.MsgKey]rat.Rat, k)
+	for _, d := range l.decisions[:k] {
+		out[d.Key] = d.Delay
+	}
+	return out
+}
+
+// Scripted wraps the captured script in a replaying adversary with the given
+// tail for decisions beyond the script.
+func (l *DecisionLog) Scripted(tail engine.Adversary) engine.ScriptedAdversary {
+	return engine.ScriptedAdversary{Delays: l.Script(), Fallback: tail}
+}
+
+// String returns a short summary for debugging.
+func (l *DecisionLog) String() string {
+	return fmt.Sprintf("decisionlog(%d decisions)", len(l.decisions))
+}

@@ -1,0 +1,491 @@
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"gcs/internal/clock"
+	"gcs/internal/core"
+	"gcs/internal/engine"
+	"gcs/internal/network"
+	"gcs/internal/rat"
+	"gcs/internal/sim"
+	"gcs/internal/trace"
+)
+
+// Objective selects the quantity the search maximizes.
+type Objective int
+
+// Objectives.
+const (
+	// ObjectiveGlobalSkew maximizes the worst |L_i − L_j| over all pairs.
+	ObjectiveGlobalSkew Objective = iota
+	// ObjectiveLocalSkew maximizes the worst |L_i − L_j| over distance-1
+	// pairs.
+	ObjectiveLocalSkew
+	// ObjectiveGradientMargin maximizes max over pairs of
+	// |L_i − L_j| − f(d(i,j)): positive values are gradient violations.
+	ObjectiveGradientMargin
+)
+
+// String returns the objective's flag-style name.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveGlobalSkew:
+		return "global"
+	case ObjectiveLocalSkew:
+		return "local"
+	case ObjectiveGradientMargin:
+		return "margin"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// ParseObjective parses an objective name as used by the CLIs.
+func ParseObjective(s string) (Objective, error) {
+	switch strings.ToLower(s) {
+	case "global":
+		return ObjectiveGlobalSkew, nil
+	case "local":
+		return ObjectiveLocalSkew, nil
+	case "margin":
+		return ObjectiveGradientMargin, nil
+	default:
+		return 0, fmt.Errorf("search: unknown objective %q (want global | local | margin)", s)
+	}
+}
+
+// Options configures a worst-case search.
+type Options struct {
+	Net      *network.Network
+	Protocol sim.Protocol
+	Duration rat.Rat
+	Rho      rat.Rat // drift bound ρ; rate mutations stay within [1−ρ, 1+ρ]
+
+	// Schedules are the base hardware schedules (default: all constant 1).
+	// Rate mutations replace one node's schedule with a constant-rate one.
+	Schedules []*clock.Schedule
+
+	// Base seeds the search and serves as the tail adversary for decisions
+	// beyond every candidate script. Default: Midpoint().
+	Base engine.Adversary
+
+	Objective Objective
+	// Gradient is the bound f for ObjectiveGradientMargin (required there,
+	// ignored otherwise).
+	Gradient core.GradientFunc
+
+	// Rounds bounds the greedy rounds (each round composes one more mutation
+	// on top of the beam). Default 4.
+	Rounds int
+	// Beam is the number of best candidates expanded each round. Default 2.
+	Beam int
+	// DelayMutations caps how many of a candidate's decisions are mutated
+	// per round, sampled evenly across the decision log so late decisions
+	// are reachable. Default 16.
+	DelayMutations int
+	// Workers bounds the evaluation pool. Default GOMAXPROCS.
+	Workers int
+	// DisableRateMutations restricts the search to delay choices only.
+	DisableRateMutations bool
+}
+
+// Result is the outcome of a search: the best adversary found, as a
+// replayable script plus rate overrides, with the objective values that
+// certify it. Identical Options produce identical Results regardless of
+// Workers or GOMAXPROCS.
+type Result struct {
+	Objective Objective
+	// Baseline is the objective value of the unmutated base candidate.
+	Baseline rat.Rat
+	// Best is the searched worst-case objective value (≥ Baseline).
+	Best rat.Rat
+	// Witness is the pair and time attaining Best (skew objectives) or the
+	// pair with the worst margin (margin objective).
+	Witness core.PairSkew
+	// Script is the complete realized decision log of the best run: replay
+	// it with ReplayAdversary (or engine.ScriptedAdversary + the base tail)
+	// to reproduce the execution exactly.
+	Script map[trace.MsgKey]rat.Rat
+	// Rates holds per-node constant-rate overrides; a zero Rat means the
+	// node keeps its base schedule.
+	Rates []rat.Rat
+	// Rounds is the number of mutation rounds executed, Evaluated the total
+	// number of candidate simulations.
+	Rounds    int
+	Evaluated int
+}
+
+// ReplayAdversary returns the adversary reproducing the best execution found
+// (the full realized script over the base tail).
+func (r *Result) ReplayAdversary(base engine.Adversary) engine.ScriptedAdversary {
+	return engine.ScriptedAdversary{Delays: r.Script, Fallback: base}
+}
+
+// ReplaySchedules returns the hardware schedules of the best execution:
+// base schedules with the searched constant-rate overrides applied.
+func (r *Result) ReplaySchedules(base []*clock.Schedule) []*clock.Schedule {
+	out := make([]*clock.Schedule, len(base))
+	for i := range base {
+		if i < len(r.Rates) && !r.Rates[i].IsZero() {
+			out[i] = clock.Constant(r.Rates[i])
+		} else {
+			out[i] = base[i]
+		}
+	}
+	return out
+}
+
+// candidate is one point of the search space: a delay script layered over
+// the base tail adversary, plus per-node constant-rate overrides (zero Rat =
+// base schedule). id is the global discovery index, the deterministic
+// tie-breaker.
+type candidate struct {
+	id     int
+	script map[trace.MsgKey]rat.Rat
+	rates  []rat.Rat
+}
+
+// evaluation is a candidate's simulated outcome.
+type evaluation struct {
+	cand    candidate
+	value   rat.Rat
+	witness core.PairSkew
+	log     *DecisionLog
+	err     error
+}
+
+// Search hunts a skew-maximizing execution for opt.Protocol on opt.Net. See
+// the package comment for the algorithm; the result is deterministic in
+// Options alone.
+func Search(opt Options) (*Result, error) {
+	if err := normalize(&opt); err != nil {
+		return nil, err
+	}
+	n := opt.Net.N()
+
+	seed := candidate{id: 0, rates: make([]rat.Rat, n)}
+	evals := evalAll(opt, []candidate{seed})
+	if evals[0].err != nil {
+		return nil, fmt.Errorf("search: base run: %w", evals[0].err)
+	}
+	base := evals[0]
+	best := base
+	beam := []evaluation{base}
+	nextID := 1
+	evaluated := 1
+	rounds := 0
+
+	seen := map[string]bool{key(seed): true}
+	for round := 0; round < opt.Rounds; round++ {
+		var cands []candidate
+		for _, parent := range beam {
+			for _, m := range mutations(opt, parent) {
+				k := key(m)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				m.id = nextID
+				nextID++
+				cands = append(cands, m)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		rounds++
+		results := evalAll(opt, cands)
+		evaluated += len(results)
+		for _, ev := range results {
+			if ev.err != nil {
+				return nil, fmt.Errorf("search: candidate %d: %w", ev.cand.id, ev.err)
+			}
+		}
+		beam = reduce(append(beam, results...), opt.Beam)
+		if !beam[0].value.Greater(best.value) {
+			break // no round improvement: greedy fixpoint
+		}
+		best = beam[0]
+	}
+
+	return &Result{
+		Objective: opt.Objective,
+		Baseline:  base.value,
+		Best:      best.value,
+		Witness:   best.witness,
+		Script:    best.log.Script(),
+		Rates:     best.cand.rates,
+		Rounds:    rounds,
+		Evaluated: evaluated,
+	}, nil
+}
+
+// normalize validates opt and fills defaults.
+func normalize(opt *Options) error {
+	if opt.Net == nil {
+		return fmt.Errorf("search: nil network")
+	}
+	if opt.Protocol == nil {
+		return fmt.Errorf("search: nil protocol")
+	}
+	if opt.Duration.Sign() <= 0 {
+		return fmt.Errorf("search: non-positive duration %s", opt.Duration)
+	}
+	if opt.Objective == ObjectiveGradientMargin && opt.Gradient == nil {
+		return fmt.Errorf("search: ObjectiveGradientMargin needs a Gradient func")
+	}
+	n := opt.Net.N()
+	if opt.Schedules == nil {
+		opt.Schedules = make([]*clock.Schedule, n)
+		for i := range opt.Schedules {
+			opt.Schedules[i] = clock.Constant(rat.FromInt(1))
+		}
+	}
+	if len(opt.Schedules) != n {
+		return fmt.Errorf("search: %d schedules for %d nodes", len(opt.Schedules), n)
+	}
+	if opt.Base == nil {
+		opt.Base = engine.Midpoint()
+	}
+	if opt.Rounds <= 0 {
+		opt.Rounds = 4
+	}
+	if opt.Beam <= 0 {
+		opt.Beam = 2
+	}
+	if opt.DelayMutations <= 0 {
+		opt.DelayMutations = 16
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// delaySnaps are the candidate delay fractions of the bound: the extremes
+// and the midpoint the constructions use.
+var delaySnaps = []rat.Rat{{}, rat.MustFrac(1, 2), rat.FromInt(1)}
+
+// mutations enumerates the deterministic single-step edits of a parent
+// candidate: per-node rate flips within ±ρ, then per-decision delay snaps
+// over an even sample of the parent's realized decision log.
+func mutations(opt Options, parent evaluation) []candidate {
+	var out []candidate
+
+	if !opt.DisableRateMutations {
+		one := rat.FromInt(1)
+		rateChoices := []rat.Rat{one.Sub(opt.Rho), one, one.Add(opt.Rho)}
+		// Rate-flip candidates never edit their script, so they can share one
+		// copy of the parent's realized decisions (read-only during replay).
+		shared := parent.log.Script()
+		for node := 0; node < opt.Net.N(); node++ {
+			cur := effectiveRate(opt, parent.cand, node)
+			for _, r := range rateChoices {
+				if r.Sign() <= 0 || (cur != nil && cur.Equal(r)) {
+					continue
+				}
+				rates := append([]rat.Rat(nil), parent.cand.rates...)
+				rates[node] = r
+				out = append(out, candidate{script: shared, rates: rates})
+			}
+		}
+	}
+
+	decs := parent.log.Decisions()
+	for _, idx := range sampleIndices(len(decs), opt.DelayMutations) {
+		d := decs[idx]
+		for _, frac := range delaySnaps {
+			v := frac.Mul(d.Bound)
+			if v.Equal(d.Delay) {
+				continue
+			}
+			script := parent.log.Script()
+			script[d.Key] = v
+			out = append(out, candidate{script: script, rates: parent.cand.rates})
+		}
+	}
+	return out
+}
+
+// effectiveRate returns the constant rate node runs at under cand, or nil
+// when the base schedule is not constant (then every flip is a real change).
+func effectiveRate(opt Options, cand candidate, node int) *rat.Rat {
+	if !cand.rates[node].IsZero() {
+		r := cand.rates[node]
+		return &r
+	}
+	segs := opt.Schedules[node].Rates()
+	if len(segs) == 1 {
+		r := segs[0].Rate
+		return &r
+	}
+	return nil
+}
+
+// sampleIndices returns up to k indices spread evenly across [0, n), always
+// including the first and last when possible, in increasing order.
+func sampleIndices(n, k int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k == 1 {
+		return []int{0}
+	}
+	out := make([]int, 0, k)
+	last := -1
+	for i := 0; i < k; i++ {
+		idx := i * (n - 1) / (k - 1)
+		if idx != last {
+			out = append(out, idx)
+			last = idx
+		}
+	}
+	return out
+}
+
+// key canonicalizes a candidate for deduplication: rates plus sorted script
+// entries.
+func key(c candidate) string {
+	var b strings.Builder
+	for i, r := range c.rates {
+		fmt.Fprintf(&b, "r%d=%s;", i, r.Key())
+	}
+	entries := make([]string, 0, len(c.script))
+	for k, v := range c.script {
+		entries = append(entries, fmt.Sprintf("%d>%d#%d=%s", k.From, k.To, k.Seq, v.Key()))
+	}
+	sort.Strings(entries)
+	b.WriteString(strings.Join(entries, ";"))
+	return b.String()
+}
+
+// evalAll simulates every candidate concurrently on a bounded worker pool.
+// Each worker owns an independent Engine and trackers; results land in a
+// slice indexed by candidate position, so no ordering nondeterminism can
+// leak into the reduction.
+func evalAll(opt Options, cands []candidate) []evaluation {
+	results := make([]evaluation, len(cands))
+	workers := opt.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, c := range cands {
+			results[i] = evaluate(opt, c)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = evaluate(opt, cands[i])
+			}
+		}()
+	}
+	for i := range cands {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// evaluate re-simulates one candidate from scratch and reads the objective
+// off the online trackers.
+func evaluate(opt Options, cand candidate) evaluation {
+	ev := evaluation{cand: cand}
+	scheds := make([]*clock.Schedule, len(opt.Schedules))
+	for i, s := range opt.Schedules {
+		if !cand.rates[i].IsZero() {
+			scheds[i] = clock.Constant(cand.rates[i])
+		} else {
+			scheds[i] = s
+		}
+	}
+	skew, err := core.NewSkewTracker(opt.Net, scheds)
+	if err != nil {
+		ev.err = err
+		return ev
+	}
+	log := NewDecisionLog(opt.Net)
+	adv := engine.ScriptedAdversary{Delays: cand.script, Fallback: opt.Base}
+	eng, err := engine.New(opt.Net,
+		engine.WithProtocol(opt.Protocol),
+		engine.WithAdversary(adv),
+		engine.WithSchedules(scheds),
+		engine.WithRho(opt.Rho),
+		engine.WithObservers(skew, log),
+	)
+	if err != nil {
+		ev.err = err
+		return ev
+	}
+	if err := eng.RunUntil(opt.Duration); err != nil {
+		ev.err = err
+		return ev
+	}
+	if err := skew.Err(); err != nil {
+		ev.err = err
+		return ev
+	}
+	ev.log = log
+	ev.value, ev.witness = objectiveValue(opt, skew)
+	return ev
+}
+
+// objectiveValue reads the configured objective off a flushed tracker.
+func objectiveValue(opt Options, skew *core.SkewTracker) (rat.Rat, core.PairSkew) {
+	switch opt.Objective {
+	case ObjectiveLocalSkew:
+		l := skew.Local()
+		return l.Skew, l
+	case ObjectiveGradientMargin:
+		var worst core.PairSkew
+		var margin rat.Rat
+		first := true
+		opt.Net.Pairs(func(i, j int) {
+			p := skew.Pair(i, j)
+			p.Allowed = opt.Gradient(p.Dist)
+			m := p.Skew.Sub(p.Allowed)
+			if first || m.Greater(margin) {
+				margin, worst, first = m, p, false
+			}
+		})
+		return margin, worst
+	default:
+		g := skew.Global()
+		return g.Skew, g
+	}
+}
+
+// reduce sorts the pool by (value desc, discovery id asc) and keeps the top
+// `beam` entries. The id tie-break makes the selection — and therefore the
+// whole search — independent of evaluation timing.
+func reduce(pool []evaluation, beam int) []evaluation {
+	sort.Slice(pool, func(a, b int) bool {
+		if c := pool[a].value.Cmp(pool[b].value); c != 0 {
+			return c > 0
+		}
+		return pool[a].cand.id < pool[b].cand.id
+	})
+	if len(pool) > beam {
+		pool = pool[:beam]
+	}
+	return pool
+}

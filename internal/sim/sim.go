@@ -32,6 +32,9 @@ type (
 	Runtime = engine.Runtime
 	// Adversary chooses message delays.
 	Adversary = engine.Adversary
+	// CheckedAdversary is an Adversary whose decision can fail with a
+	// precise error (e.g. an exhausted script with no fallback).
+	CheckedAdversary = engine.CheckedAdversary
 	// Config fully describes a batch run.
 	Config = engine.Config
 )
