@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench
+.PHONY: all build test vet bench bench-snapshot
 
 all: vet build test
 
@@ -19,3 +19,11 @@ vet:
 # metric plus the streaming-vs-recorded engine comparison.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Machine-readable experiment snapshots for trend tracking: the standard
+# suite plus the E13 -long scale sweep (diameter-64 cells, prefix-cache
+# steps-per-candidate savings). CI uploads these as per-commit artifacts;
+# BENCH_E13_long.json is also committed so headline metrics diff in review.
+bench-snapshot:
+	$(GO) run ./cmd/gcsbench -json > BENCH_suite.json
+	$(GO) run ./cmd/gcsbench -long -only E13 -json > BENCH_E13_long.json

@@ -58,6 +58,9 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "search mutation rounds (0 = default)")
 		beam      = flag.Int("beam", 0, "search beam width (0 = default)")
 		workers   = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
+		windows   = flag.Int("windows", 0, "windowed rate-mutation count (0 = disabled; with -search)")
+		tailStr   = flag.String("tail", "0", "restrict delay mutations to the final fraction of the decision log, e.g. 1/2 (0 = whole log; with -search)")
+		noPrefix  = flag.Bool("noprefix", false, "disable prefix-cached evaluation: re-simulate every candidate from scratch (with -search)")
 	)
 	flag.Parse()
 	var err error
@@ -65,7 +68,7 @@ func main() {
 		err = searchFlagConflicts(*stream, *profile)
 		if err == nil {
 			err = runSearch(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed,
-				*objective, *rounds, *beam, *workers, *chart)
+				*objective, *rounds, *beam, *workers, *windows, *tailStr, *noPrefix, *chart)
 		}
 	} else {
 		err = run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd, *profile, *chart, *stream)
@@ -210,7 +213,7 @@ func searchFlagConflicts(stream, profile bool) error {
 // runSearch hunts a skew-maximizing execution: the -adversary selection
 // seeds the search and serves as the tail for unscripted decisions.
 func runSearch(protoName, topology string, n int, durStr, rhoStr, advName string, seed uint64,
-	objectiveName string, rounds, beam, workers int, chart bool) error {
+	objectiveName string, rounds, beam, workers, windows int, tailStr string, noPrefix, chart bool) error {
 	if chart {
 		return fmt.Errorf("-chart needs a recorded run; drop -chart or run without -search")
 	}
@@ -224,6 +227,10 @@ func runSearch(protoName, topology string, n int, durStr, rhoStr, advName string
 	rho, err := rat.Parse(rhoStr)
 	if err != nil {
 		return fmt.Errorf("rho: %w", err)
+	}
+	tail, err := rat.Parse(tailStr)
+	if err != nil {
+		return fmt.Errorf("tail: %w", err)
 	}
 	obj, err := search.ParseObjective(objectiveName)
 	if err != nil {
@@ -242,15 +249,18 @@ func runSearch(protoName, topology string, n int, durStr, rhoStr, advName string
 		return err
 	}
 	opt := search.Options{
-		Net:       net,
-		Protocol:  proto,
-		Duration:  dur,
-		Rho:       rho,
-		Base:      base,
-		Objective: obj,
-		Rounds:    rounds,
-		Beam:      beam,
-		Workers:   workers,
+		Net:                net,
+		Protocol:           proto,
+		Duration:           dur,
+		Rho:                rho,
+		Base:               base,
+		Objective:          obj,
+		Rounds:             rounds,
+		Beam:               beam,
+		Workers:            workers,
+		RateWindows:        windows,
+		MutateTail:         tail,
+		DisablePrefixCache: noPrefix,
 	}
 	if obj == search.ObjectiveGradientMargin {
 		// Compare against the linear envelope f(d) = 1 + d: a margin > 0
@@ -276,6 +286,8 @@ func runSearch(protoName, topology string, n int, durStr, rhoStr, advName string
 	w := res.Witness
 	fmt.Printf("  witness: pair (%d,%d) at t=%s, distance %s\n", w.I, w.J, w.At, w.Dist)
 	fmt.Printf("  search: %d rounds, %d candidate executions evaluated\n", res.Rounds, res.Evaluated)
+	fmt.Printf("  engine events: %d dispatched, %.1f/candidate (from-scratch resim: %.1f/candidate, %.0f%% saved by prefix caching)\n",
+		res.EngineSteps, res.StepsPerCandidate(), res.ResimPerCandidate(), 100*res.SavedFraction())
 	var flips []string
 	for i, r := range res.Rates {
 		if !r.IsZero() {

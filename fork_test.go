@@ -1,0 +1,273 @@
+package gcs_test
+
+// Fork determinism matrix: an engine forked mid-run and driven to the
+// horizon must be byte-identical — action for action, ledger entry for
+// ledger entry, metric for metric — to a fresh engine run end to end on the
+// same configuration, across line/ring/grid topologies × every protocol in
+// the portfolio. The matrix also asserts the trunk is untouched by forking
+// (it still matches the fresh run) and that cloned online trackers agree
+// with the post-hoc checkers on the forked run, which is the contract the
+// prefix-cached search stands on.
+
+import (
+	"fmt"
+	"testing"
+
+	"gcs"
+)
+
+func forkTopologies(t *testing.T) []*gcs.Network {
+	t.Helper()
+	line, err := gcs.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := gcs.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gcs.Grid2D(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*gcs.Network{line, ring, grid}
+}
+
+// forkRun drives an engine with a recorder and skew/validity trackers
+// attached from time zero, forking at the given step count (0 = no fork) and
+// finishing on the fork. It returns the executed engine, its recorder, and
+// its trackers — all belonging to the branch that reached the horizon.
+type forkRun struct {
+	eng   *gcs.Engine
+	rec   *gcs.Recorder
+	skew  *gcs.SkewTracker
+	valid *gcs.ValidityTracker
+}
+
+func execEqual(t *testing.T, label string, a, b *gcs.Execution) {
+	t.Helper()
+	if len(a.Actions) != len(b.Actions) {
+		t.Fatalf("%s: %d actions vs %d", label, len(a.Actions), len(b.Actions))
+	}
+	for i := range a.Actions {
+		x, y := a.Actions[i], b.Actions[i]
+		if x.Node != y.Node || x.Kind != y.Kind || x.Peer != y.Peer ||
+			x.MsgSeq != y.MsgSeq || x.TimerID != y.TimerID || x.Payload != y.Payload ||
+			!x.Real.Equal(y.Real) || !x.HW.Equal(y.HW) {
+			t.Fatalf("%s: action %d differs: %+v vs %+v", label, i, x, y)
+		}
+	}
+	if len(a.Ledger) != len(b.Ledger) {
+		t.Fatalf("%s: %d ledger entries vs %d", label, len(a.Ledger), len(b.Ledger))
+	}
+	for k, x := range a.Ledger {
+		y, ok := b.Ledger[k]
+		if !ok || x.Delivered != y.Delivered || x.Payload != y.Payload ||
+			!x.SendReal.Equal(y.SendReal) || !x.Delay.Equal(y.Delay) ||
+			(x.Delivered && !x.RecvReal.Equal(y.RecvReal)) {
+			t.Fatalf("%s: ledger %v differs: %+v vs %+v (present=%v)", label, k, x, y, ok)
+		}
+	}
+}
+
+func TestForkDeterminismMatrix(t *testing.T) {
+	dur := gcs.R(12)
+	rho := gcs.Frac(1, 2)
+	for _, net := range forkTopologies(t) {
+		for _, proto := range gcs.AllProtocols() {
+			net, proto := net, proto
+			t.Run(fmt.Sprintf("%s/%s", net.Name(), proto.Name()), func(t *testing.T) {
+				scheds, err := gcs.DiverseSchedules(net.N(), gcs.Frac(3, 4), gcs.Frac(5, 4), 4, 17)
+				if err != nil {
+					t.Fatal(err)
+				}
+				adv := gcs.HashAdversary{Seed: 7, Denom: 8}
+				build := func() forkRun {
+					t.Helper()
+					skew, err := gcs.NewSkewTracker(net, scheds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					valid := gcs.NewValidityTracker(scheds)
+					rec := gcs.NewRecorder(net.N())
+					eng, err := gcs.NewEngine(net,
+						gcs.WithProtocol(proto),
+						gcs.WithAdversary(adv),
+						gcs.WithSchedules(scheds),
+						gcs.WithRho(rho),
+						gcs.WithObservers(rec, skew, valid),
+					)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return forkRun{eng: eng, rec: rec, skew: skew, valid: valid}
+				}
+
+				// Fresh end-to-end run: the reference.
+				fresh := build()
+				if err := fresh.eng.RunUntil(dur); err != nil {
+					t.Fatal(err)
+				}
+				freshExec, err := fresh.eng.Execution(fresh.rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Trunk run: step half the events, fork, finish both branches.
+				trunk := build()
+				half := fresh.eng.Steps() / 2
+				for trunk.eng.Steps() < half {
+					ok, err := trunk.eng.Step()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+				}
+				fork, err := trunk.eng.Fork()
+				if err != nil {
+					t.Fatal(err)
+				}
+				frec := trunk.rec.Clone()
+				fskew := trunk.skew.Clone()
+				fvalid := trunk.valid.Clone()
+				fork.Observe(frec, fskew, fvalid)
+				if err := fork.RunUntil(dur); err != nil {
+					t.Fatal(err)
+				}
+				forkExec, err := fork.Execution(frec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				execEqual(t, "fork vs fresh", freshExec, forkExec)
+				if fork.Steps() != fresh.eng.Steps() {
+					t.Fatalf("fork dispatched %d events, fresh %d", fork.Steps(), fresh.eng.Steps())
+				}
+
+				// The trunk is untouched by the fork: finishing it still
+				// reproduces the fresh run.
+				if err := trunk.eng.RunUntil(dur); err != nil {
+					t.Fatal(err)
+				}
+				trunkExec, err := trunk.eng.Execution(trunk.rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				execEqual(t, "trunk vs fresh", freshExec, trunkExec)
+
+				// Cloned online trackers vs post-hoc checkers on the forked
+				// execution.
+				if err := fskew.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if g, og := gcs.GlobalSkew(forkExec), fskew.Global(); !og.Skew.Equal(g.Skew) {
+					t.Fatalf("cloned tracker global %s vs post-hoc %s", og.Skew, g.Skew)
+				}
+				if l, ol := gcs.LocalSkew(forkExec), fskew.Local(); !ol.Skew.Equal(l.Skew) {
+					t.Fatalf("cloned tracker local %s vs post-hoc %s", ol.Skew, l.Skew)
+				}
+				perr, oerr := gcs.CheckValidity(forkExec), fvalid.Err()
+				if (perr == nil) != (oerr == nil) {
+					t.Fatalf("cloned validity %v vs post-hoc %v", oerr, perr)
+				}
+				// And the two branches' trackers agree with each other.
+				if !fresh.skew.Global().Skew.Equal(fskew.Global().Skew) {
+					t.Fatalf("fresh tracker global %s vs forked %s", fresh.skew.Global().Skew, fskew.Global().Skew)
+				}
+			})
+		}
+	}
+}
+
+// TestForkDivergence: a fork rebound to a different adversary diverges from
+// the trunk without disturbing it — the branching the prefix-cached search
+// performs — and matches a fresh run under a script that switches delays at
+// the same decision boundary.
+func TestForkDivergence(t *testing.T) {
+	net, err := gcs.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := gcs.R(10)
+	proto := gcs.MaxGossip(gcs.R(1))
+	build := func(adv gcs.Adversary) (*gcs.Engine, *gcs.DecisionLog) {
+		t.Helper()
+		log := gcs.NewDecisionLog(net)
+		eng, err := gcs.NewEngine(net,
+			gcs.WithProtocol(proto),
+			gcs.WithAdversary(adv),
+			gcs.WithRho(gcs.Frac(1, 2)),
+			gcs.WithObservers(log),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, log
+	}
+
+	trunk, tlog := build(gcs.Midpoint())
+	for i := 0; i < 8; i++ {
+		if _, err := trunk.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefix := tlog.Len()
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.SetAdversary(gcs.FractionAdversary{Frac: gcs.R(1)}); err != nil {
+		t.Fatal(err)
+	}
+	flog := tlog.Clone()
+	fork.Observe(flog)
+	if err := fork.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+	if err := trunk.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+	if flog.Len() <= prefix {
+		t.Fatal("fork made no decisions after the fork point")
+	}
+	// Prefix decisions are shared; the fork's post-fork decisions take the
+	// full bound while the trunk keeps the midpoint.
+	half, one := gcs.Frac(1, 2), gcs.R(1)
+	for i, d := range flog.Decisions() {
+		want := one
+		if i < prefix {
+			want = tlog.Decisions()[i].Delay
+		}
+		if i >= prefix {
+			if !d.Delay.Equal(want.Mul(d.Bound)) {
+				t.Fatalf("fork decision %d delay %s, want bound %s", i, d.Delay, d.Bound)
+			}
+			continue
+		}
+		if !d.Delay.Equal(want) {
+			t.Fatalf("fork prefix decision %d delay %s, want trunk's %s", i, d.Delay, want)
+		}
+	}
+	for _, d := range tlog.Decisions() {
+		if !d.Delay.Equal(half.Mul(d.Bound)) {
+			t.Fatalf("trunk decision %v delay %s drifted off the midpoint %s", d.Key, d.Delay, half.Mul(d.Bound))
+		}
+	}
+
+	// The fork's whole run equals a fresh run under its realized script.
+	replay, rlog := build(gcs.ScriptedAdversary{Delays: flog.Script()})
+	if err := replay.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+	if rlog.Len() != flog.Len() || replay.Steps() != fork.Steps() {
+		t.Fatalf("replay: %d decisions / %d steps, fork: %d / %d",
+			rlog.Len(), replay.Steps(), flog.Len(), fork.Steps())
+	}
+	for i, d := range rlog.Decisions() {
+		f := flog.Decisions()[i]
+		if d.Key != f.Key || !d.Delay.Equal(f.Delay) || !d.SendReal.Equal(f.SendReal) || d.Event != f.Event {
+			t.Fatalf("replay decision %d differs: %+v vs %+v", i, d, f)
+		}
+	}
+}

@@ -47,6 +47,15 @@
 // RunFor(r) extends the horizon incrementally, and any number of Observers
 // can subscribe to the action/message/declaration stream.
 //
+// Engine state is forkable: Engine.Fork returns an independent engine at the
+// exact same point of the run (deep-cloned event queue and per-node state,
+// via the Protocol.CloneState contract), Engine.SetAdversary rebinds the
+// fork's delay adversary, and the online trackers, Recorder, and DecisionLog
+// all Clone so a branch's metrics continue seamlessly. Fork is what lets a
+// shared execution prefix be simulated once and branched — the structure of
+// the paper's constructions, and the engine of the prefix-cached worst-case
+// search (see Search).
+//
 // The batch API records everything and remains available — Run builds an
 // Engine with a trace.Recorder attached and returns the completed
 // *Execution for post-hoc analysis, which the lower-bound constructions
@@ -306,7 +315,8 @@ var (
 
 // Worst-case adversary search (internal/search): hunt skew-maximizing
 // executions by replay-based branching over delay and drift choices,
-// evaluated on a deterministic parallel worker pool.
+// evaluated prefix-cached (shared script prefixes run once, Engine.Fork
+// branches the suffixes) on a deterministic parallel worker pool.
 type (
 	// SearchOptions configures a worst-case search.
 	SearchOptions = search.Options
@@ -315,6 +325,9 @@ type (
 	SearchResult = search.Result
 	// SearchObjective selects the maximized quantity.
 	SearchObjective = search.Objective
+	// SearchSeed is an initial candidate injected into the search beam —
+	// typically a certified construction exported via an AdversarySeed.
+	SearchSeed = search.Seed
 	// Decision is one captured per-message delay choice.
 	Decision = search.Decision
 	// DecisionLog is an engine observer converting a run's delay decisions
@@ -356,6 +369,10 @@ type (
 	// CounterexampleInput / CounterexampleResult are the §2 scenario.
 	CounterexampleInput  = lowerbound.CounterexampleInput
 	CounterexampleResult = lowerbound.CounterexampleResult
+	// AdversarySeed is a construction's adversary (delay script + surgery
+	// schedules) packaged as a search seed; ShiftResult, AddSkewResult, and
+	// MainTheoremResult all export one via their Seed methods.
+	AdversarySeed = lowerbound.AdversarySeed
 )
 
 // Construction drivers.

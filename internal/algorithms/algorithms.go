@@ -62,6 +62,9 @@ func Null() sim.Protocol { return nullProto{} }
 func (nullProto) Name() string         { return "null" }
 func (nullProto) NewNode(int) sim.Node { return nullNode{} }
 
+// CloneState implements sim.Protocol; nullNode is stateless.
+func (nullProto) CloneState(n sim.Node) sim.Node { return n }
+
 type nullNode struct{}
 
 func (nullNode) Init(*sim.Runtime)                        {}
@@ -92,6 +95,12 @@ func (p maxProto) Name() string {
 }
 
 func (p maxProto) NewNode(int) sim.Node { return &maxNode{period: p.period, flood: p.flood} }
+
+// CloneState implements sim.Protocol.
+func (p maxProto) CloneState(n sim.Node) sim.Node {
+	c := *n.(*maxNode)
+	return &c
+}
 
 type maxNode struct {
 	period rat.Rat
@@ -168,6 +177,17 @@ func (p gradientProto) Name() string { return "gradient" }
 
 func (p gradientProto) NewNode(int) sim.Node {
 	return &gradientNode{params: p.params, est: map[int]estimate{}}
+}
+
+// CloneState implements sim.Protocol: the neighbor-estimate map is the
+// node's mutable state and must not be shared.
+func (p gradientProto) CloneState(n sim.Node) sim.Node {
+	g := n.(*gradientNode)
+	c := &gradientNode{params: g.params, est: make(map[int]estimate, len(g.est)), fast: g.fast}
+	for k, v := range g.est {
+		c.est[k] = v
+	}
+	return c
 }
 
 // estimate is the last value heard from a neighbor, anchored at the local
@@ -255,6 +275,12 @@ func (p rbsProto) Name() string { return "rbs" }
 
 func (p rbsProto) NewNode(id int) sim.Node {
 	return &rbsNode{period: p.period, beacon: p.beacon, id: id}
+}
+
+// CloneState implements sim.Protocol.
+func (p rbsProto) CloneState(n sim.Node) sim.Node {
+	c := *n.(*rbsNode)
+	return &c
 }
 
 type rbsNode struct {

@@ -1,0 +1,83 @@
+package algorithms
+
+import (
+	"testing"
+
+	"gcs/internal/rat"
+	"gcs/internal/sim"
+)
+
+// TestCloneStateIndependence: every protocol's CloneState must deep-copy
+// mutable node state — mutating the original after cloning must never leak
+// into the clone. The map-carrying protocols (gradient, llw) are the ones
+// that would break silently under a shallow copy.
+func TestCloneStateIndependence(t *testing.T) {
+	one := rat.FromInt(1)
+
+	g := Gradient(DefaultGradientParams())
+	gn := g.NewNode(0).(*gradientNode)
+	gn.est[1] = estimate{val: one, atHW: one}
+	gn.fast = true
+	gc := g.CloneState(gn).(*gradientNode)
+	if !gc.fast || len(gc.est) != 1 || !gc.est[1].val.Equal(one) {
+		t.Fatalf("gradient clone lost state: %+v", gc)
+	}
+	gn.est[2] = estimate{val: one, atHW: one}
+	gn.est[1] = estimate{val: rat.FromInt(5), atHW: one}
+	if len(gc.est) != 1 || !gc.est[1].val.Equal(one) {
+		t.Fatalf("gradient clone shares the estimate map: %+v", gc.est)
+	}
+
+	l := LLW(DefaultLLWParams())
+	ln := l.NewNode(0).(*llwNode)
+	ln.est[1] = estimate{val: one, atHW: one}
+	lc := l.CloneState(ln).(*llwNode)
+	ln.est[2] = estimate{val: one, atHW: one}
+	if len(lc.est) != 1 {
+		t.Fatalf("llw clone shares the estimate map: %+v", lc.est)
+	}
+
+	r := RBS(one, 0)
+	rn := r.NewNode(0).(*rbsNode)
+	rn.pulse = 7
+	rc := r.CloneState(rn).(*rbsNode)
+	rn.pulse = 9
+	if rc.pulse != 7 {
+		t.Fatalf("rbs clone shares the pulse counter: %d", rc.pulse)
+	}
+
+	// Whole-portfolio sanity: CloneState returns a node of the same concrete
+	// type and never the nil interface.
+	protos := append(All(), RBS(one, 0))
+	for _, p := range protos {
+		n := p.NewNode(0)
+		c := p.CloneState(n)
+		if c == nil {
+			t.Fatalf("%s: CloneState returned nil", p.Name())
+		}
+		if got, want := nodeType(c), nodeType(n); got != want {
+			t.Fatalf("%s: clone type %s, want %s", p.Name(), got, want)
+		}
+	}
+}
+
+func nodeType(n sim.Node) string {
+	switch n.(type) {
+	case nullNode:
+		return "null"
+	case *maxNode:
+		return "max"
+	case *boundedMaxNode:
+		return "bounded-max"
+	case *gradientNode:
+		return "gradient"
+	case *llwNode:
+		return "llw"
+	case *rootSyncNode:
+		return "root-sync"
+	case *rbsNode:
+		return "rbs"
+	default:
+		return "unknown"
+	}
+}

@@ -52,6 +52,17 @@ func (p llwProto) NewNode(int) sim.Node {
 	return &llwNode{params: p.params, est: map[int]estimate{}}
 }
 
+// CloneState implements sim.Protocol: the neighbor-estimate map is the
+// node's mutable state and must not be shared.
+func (p llwProto) CloneState(n sim.Node) sim.Node {
+	l := n.(*llwNode)
+	c := &llwNode{params: l.params, est: make(map[int]estimate, len(l.est)), fast: l.fast}
+	for k, v := range l.est {
+		c.est[k] = v
+	}
+	return c
+}
+
 type llwNode struct {
 	params LLWParams
 	est    map[int]estimate

@@ -30,6 +30,12 @@ func (p boundedMaxProto) NewNode(int) sim.Node {
 	return &boundedMaxNode{period: p.period, cap: p.cap}
 }
 
+// CloneState implements sim.Protocol.
+func (p boundedMaxProto) CloneState(n sim.Node) sim.Node {
+	c := *n.(*boundedMaxNode)
+	return &c
+}
+
 type boundedMaxNode struct {
 	period rat.Rat
 	cap    rat.Rat
@@ -83,6 +89,12 @@ func (p rootSyncProto) Name() string { return "root-sync" }
 
 func (p rootSyncProto) NewNode(id int) sim.Node {
 	return &rootSyncNode{period: p.period, root: p.root, id: id}
+}
+
+// CloneState implements sim.Protocol.
+func (p rootSyncProto) CloneState(n sim.Node) sim.Node {
+	c := *n.(*rootSyncNode)
+	return &c
 }
 
 type rootSyncNode struct {

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"gcs/internal/clock"
+	"gcs/internal/engine"
+	"gcs/internal/network"
+	"gcs/internal/rat"
+)
+
+// TestTrackerCloneEquivalence: trackers cloned mid-run and attached to a
+// forked engine must finish with exactly the metrics of trackers that
+// watched a fresh end-to-end run — and exactly the post-hoc checkers'
+// values on the recorded execution. The original trackers must be untouched
+// by the clones' progress.
+func TestTrackerCloneEquivalence(t *testing.T) {
+	net, err := network.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := []*clock.Schedule{
+		clock.Constant(rat.MustFrac(5, 4)),
+		clock.Constant(rat.FromInt(1)),
+		clock.Constant(rat.MustFrac(9, 8)),
+		clock.Constant(rat.MustFrac(7, 8)),
+		clock.Constant(rat.FromInt(1)),
+	}
+	cfg := engine.Config{
+		Net:       net,
+		Schedules: scheds,
+		Adversary: engine.HashAdversary{Seed: 23, Denom: 8},
+		Protocol:  gossipProtocol{period: rat.FromInt(1)},
+		Duration:  rat.FromInt(14),
+		Rho:       rat.MustFrac(1, 2),
+	}
+	f := LinearGradient(rat.FromInt(1), rat.FromInt(1))
+	exec, fullSt, fullGt, fullVt := runBoth(t, cfg, f)
+
+	// Trunk run: trackers attached from zero, cloned at mid-run, clones
+	// finish on a fork.
+	st, err := NewSkewTracker(cfg.Net, cfg.Schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := NewGradientTracker(cfg.Net, cfg.Schedules, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := NewValidityTracker(cfg.Schedules)
+	trunk, err := engine.New(cfg.Net,
+		engine.WithProtocol(cfg.Protocol),
+		engine.WithAdversary(cfg.Adversary),
+		engine.WithSchedules(cfg.Schedules),
+		engine.WithRho(cfg.Rho),
+		engine.WithObservers(st, gt, vt),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trunk.RunUntil(rat.FromInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	midGlobal := st.Global().Skew
+	cSt, cGt, cVt := st.Clone(), gt.Clone(), vt.Clone()
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork.Observe(cSt, cGt, cVt)
+	if err := fork.RunUntil(cfg.Duration); err != nil {
+		t.Fatal(err)
+	}
+	if err := cSt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	checkTrackersMatch(t, exec, cSt, cGt, cVt, f)
+
+	// Originals froze at the fork point.
+	if !st.Global().Skew.Equal(midGlobal) {
+		t.Fatalf("original tracker moved with the clone: %s vs %s", st.Global().Skew, midGlobal)
+	}
+	if !st.Time().Equal(rat.FromInt(7)) {
+		t.Fatalf("original tracker time %s, want 7", st.Time())
+	}
+
+	// Clone-of-clone still matches: the GradientTracker hook rewires each
+	// time.
+	again := cGt.Clone()
+	if again.Violated() != cGt.Violated() {
+		t.Fatalf("cloned gradient tracker violation state differs")
+	}
+	if fullGt.Violated() != cGt.Violated() {
+		t.Fatalf("forked gradient tracker violation %v, fresh %v", cGt.Violated(), fullGt.Violated())
+	}
+	if (fullVt.Err() == nil) != (cVt.Err() == nil) {
+		t.Fatalf("forked validity %v, fresh %v", cVt.Err(), fullVt.Err())
+	}
+	if !fullSt.Global().Skew.Equal(cSt.Global().Skew) {
+		t.Fatalf("forked tracker global %s, fresh %s", cSt.Global().Skew, fullSt.Global().Skew)
+	}
+}

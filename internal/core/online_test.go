@@ -40,6 +40,10 @@ type gossipProtocol struct{ period rat.Rat }
 
 func (p gossipProtocol) Name() string               { return "test-gossip" }
 func (p gossipProtocol) NewNode(id int) engine.Node { return &gossipNode{period: p.period} }
+func (p gossipProtocol) CloneState(n engine.Node) engine.Node {
+	c := *n.(*gossipNode)
+	return &c
+}
 
 // runBoth executes cfg twice — once recorded, once streamed with trackers —
 // and returns the recorded execution plus the online trackers after the
@@ -208,6 +212,10 @@ type redeclareProtocol struct{}
 
 func (redeclareProtocol) Name() string               { return "redeclare" }
 func (redeclareProtocol) NewNode(id int) engine.Node { return &redeclareNode{id: id} }
+func (redeclareProtocol) CloneState(n engine.Node) engine.Node {
+	c := *n.(*redeclareNode)
+	return &c
+}
 
 func TestSameInstantRedeclarationCollapses(t *testing.T) {
 	net, err := network.TwoNode(rat.FromInt(1))
@@ -254,6 +262,10 @@ type dropProtocol struct{}
 
 func (dropProtocol) Name() string               { return "drop" }
 func (dropProtocol) NewNode(id int) engine.Node { return &dropNode{id: id} }
+func (dropProtocol) CloneState(n engine.Node) engine.Node {
+	c := *n.(*dropNode)
+	return &c
+}
 
 // slowNode runs its logical clock at multiplier 1/4 — a rate violation.
 type slowNode struct{}
@@ -264,8 +276,9 @@ func (slowNode) OnMessage(*engine.Runtime, int, engine.Message) {}
 
 type slowProtocol struct{}
 
-func (slowProtocol) Name() string            { return "slow" }
-func (slowProtocol) NewNode(int) engine.Node { return slowNode{} }
+func (slowProtocol) Name() string                         { return "slow" }
+func (slowProtocol) NewNode(int) engine.Node              { return slowNode{} }
+func (slowProtocol) CloneState(n engine.Node) engine.Node { return n }
 
 func TestValidityViolationsDetectedOnline(t *testing.T) {
 	net, err := network.TwoNode(rat.FromInt(1))

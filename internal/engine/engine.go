@@ -16,6 +16,14 @@
 // each node's hardware rate schedule (see internal/clock) and chooses every
 // message's delay within [0, d(from,to)].
 //
+// Engine state is forkable: Fork returns an independent engine at the exact
+// same point of the run (deep-cloned event queue and per-node state via the
+// Protocol.CloneState contract), and SetAdversary rebinds a fork's delay
+// adversary, so a shared execution prefix is simulated once and branched —
+// the structure of the paper's constructions (perturb a base execution,
+// keep the prefix indistinguishable) and the engine of the prefix-cached
+// worst-case search in internal/search.
+//
 // Determinism: events are ordered by (real time, kind, destination node,
 // peer, per-pair message sequence / timer id, scheduling sequence). Two runs
 // with the same configuration produce identical event streams, and —
@@ -64,6 +72,14 @@ type Protocol interface {
 	// NewNode creates the automaton for node id. Static environment data is
 	// available through the Runtime during callbacks.
 	NewNode(id int) Node
+	// CloneState returns an independent copy of a node automaton previously
+	// created by this protocol's NewNode, carrying all of its mutable state:
+	// after the call, driving the clone and the original from identical
+	// engine states must produce identical behavior, and mutating one must
+	// never affect the other. Stateless nodes (and value-type nodes) may be
+	// returned as-is. Engine.Fork relies on this contract to duplicate
+	// per-node state when a run is branched mid-execution.
+	CloneState(node Node) Node
 }
 
 // Adversary chooses message delays. Delay must return a value in

@@ -43,6 +43,10 @@ type tickProtocol struct{ period rat.Rat }
 
 func (p tickProtocol) Name() string        { return "tick" }
 func (p tickProtocol) NewNode(id int) Node { return &tickNode{id: id, period: p.period} }
+func (p tickProtocol) CloneState(n Node) Node {
+	c := *n.(*tickNode)
+	return &c
+}
 
 // silentNode does nothing: only init events exist.
 type silentNode struct{}
@@ -53,8 +57,9 @@ func (silentNode) OnMessage(*Runtime, int, Message) {}
 
 type silentProtocol struct{}
 
-func (silentProtocol) Name() string     { return "silent" }
-func (silentProtocol) NewNode(int) Node { return silentNode{} }
+func (silentProtocol) Name() string           { return "silent" }
+func (silentProtocol) NewNode(int) Node       { return silentNode{} }
+func (silentProtocol) CloneState(n Node) Node { return n }
 
 func newTestEngine(t *testing.T, n int, proto Protocol, opts ...Option) *Engine {
 	t.Helper()
@@ -219,8 +224,9 @@ func (selfSendNode) OnMessage(*Runtime, int, Message) {}
 
 type selfSendProtocol struct{}
 
-func (selfSendProtocol) Name() string     { return "self-send" }
-func (selfSendProtocol) NewNode(int) Node { return selfSendNode{} }
+func (selfSendProtocol) Name() string           { return "self-send" }
+func (selfSendProtocol) NewNode(int) Node       { return selfSendNode{} }
+func (selfSendProtocol) CloneState(n Node) Node { return n }
 
 func TestErrorPoisonsEngine(t *testing.T) {
 	eng := newTestEngine(t, 2, selfSendProtocol{})

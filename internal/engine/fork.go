@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"gcs/internal/trace"
+)
+
+// Fork returns an independent engine positioned at the exact point of this
+// run: same dispatched history, same pending events, same per-node state.
+// Driving the fork forward is byte-identical to driving the original — until
+// their adversaries diverge (see SetAdversary), which is the point: a shared
+// execution prefix is simulated once, then branched.
+//
+// The fork deep-clones everything mutable: the event queue, the per-pair
+// message sequence counters, the scheduling sequence, each node's Runtime
+// (hardware reading, logical-clock declarations), and each node automaton
+// via the Protocol's CloneState contract. The immutable environment — the
+// network, the hardware schedules, ρ — is shared, and the adversary is
+// inherited by reference. Message payloads queued in flight are shared too:
+// payloads must be value-determined and never mutated after Send, which the
+// Message contract already demands.
+//
+// The fork starts with no observers. To continue online metrics across the
+// fork point, Clone the trackers that watched the prefix (SkewTracker.Clone,
+// DecisionLog.Clone, Recorder.Clone, ...) and attach the clones with Observe
+// before driving the fork.
+//
+// Fork must be called between steps, never from inside an observer or node
+// callback, and fails on an engine already poisoned by an error.
+func (e *Engine) Fork() (*Engine, error) {
+	if e.err != nil {
+		return nil, fmt.Errorf("engine: fork of failed engine: %w", e.err)
+	}
+	n := e.net.N()
+	f := &Engine{
+		net:     e.net,
+		scheds:  e.scheds,
+		adv:     e.adv,
+		proto:   e.proto,
+		rho:     e.rho,
+		seq:     e.seq,
+		now:     e.now,
+		horizon: e.horizon,
+		steps:   e.steps,
+	}
+	f.queue.items = make([]*event, len(e.queue.items))
+	for i, ev := range e.queue.items {
+		c := *ev
+		f.queue.items[i] = &c
+	}
+	f.pairSeq = make(map[[2]int]uint64, len(e.pairSeq))
+	for k, v := range e.pairSeq {
+		f.pairSeq[k] = v
+	}
+	f.runtimes = make([]*Runtime, n)
+	f.nodes = make([]Node, n)
+	for i := 0; i < n; i++ {
+		rt := e.runtimes[i]
+		f.runtimes[i] = &Runtime{
+			eng:   f,
+			id:    i,
+			hwNow: rt.hwNow,
+			decls: append([]trace.Decl(nil), rt.decls...),
+		}
+		node := e.proto.CloneState(e.nodes[i])
+		if node == nil {
+			return nil, fmt.Errorf("engine: protocol %s CloneState returned nil for node %d", e.proto.Name(), i)
+		}
+		f.nodes[i] = node
+	}
+	return f, nil
+}
+
+// SetAdversary replaces the engine's delay adversary. Decisions already made
+// are fixed (their deliveries sit in the queue); only future sends consult
+// the new adversary. Combined with Fork this branches a run: fork the shared
+// prefix, hand each fork its own adversary, and drive the suffixes
+// independently.
+func (e *Engine) SetAdversary(a Adversary) error {
+	if a == nil {
+		return errors.New("engine: nil adversary")
+	}
+	e.adv = a
+	return nil
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestForkMatchesFreshRun: fork at every possible step boundary of a short
+// run; each fork driven to the horizon must land on exactly the fresh run's
+// counters and queue state. (The full cross-protocol byte-identical matrix
+// lives in the root package's fork_test.go; this exercises every boundary.)
+func TestForkMatchesFreshRun(t *testing.T) {
+	dur := ri(6)
+	fresh := newTestEngine(t, 3, tickProtocol{period: ri(1)})
+	if err := fresh.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+	total := fresh.Steps()
+	if total == 0 {
+		t.Fatal("empty reference run")
+	}
+	for cut := uint64(0); cut <= total; cut++ {
+		trunk := newTestEngine(t, 3, tickProtocol{period: ri(1)})
+		for trunk.Steps() < cut {
+			if ok, err := trunk.Step(); err != nil || !ok {
+				t.Fatalf("cut %d: ok=%v err=%v", cut, ok, err)
+			}
+		}
+		fork, err := trunk.Fork()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := fork.RunUntil(dur); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if fork.Steps() != total || fork.Pending() != fresh.Pending() || !fork.Now().Equal(fresh.Now()) {
+			t.Fatalf("cut %d: fork steps=%d pending=%d now=%s, fresh steps=%d pending=%d now=%s",
+				cut, fork.Steps(), fork.Pending(), fork.Now(), total, fresh.Pending(), fresh.Now())
+		}
+	}
+}
+
+// TestForkIndependence: driving a fork never moves the trunk, and vice
+// versa; node state is deep-cloned, not shared.
+func TestForkIndependence(t *testing.T) {
+	trunk := newTestEngine(t, 3, tickProtocol{period: ri(1)})
+	if err := trunk.RunUntil(ri(3)); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepsBefore, pendingBefore := trunk.Steps(), trunk.Pending()
+	if err := fork.RunUntil(ri(6)); err != nil {
+		t.Fatal(err)
+	}
+	if trunk.Steps() != stepsBefore || trunk.Pending() != pendingBefore {
+		t.Fatalf("driving the fork moved the trunk: steps %d→%d pending %d→%d",
+			stepsBefore, trunk.Steps(), pendingBefore, trunk.Pending())
+	}
+	if err := trunk.RunUntil(ri(6)); err != nil {
+		t.Fatal(err)
+	}
+	if trunk.Steps() != fork.Steps() {
+		t.Fatalf("trunk finished with %d steps, fork with %d", trunk.Steps(), fork.Steps())
+	}
+}
+
+// TestForkErrors: a poisoned engine refuses to fork, and SetAdversary
+// rejects nil.
+func TestForkErrors(t *testing.T) {
+	eng := newTestEngine(t, 2, selfSendProtocol{})
+	if _, err := eng.Step(); err == nil {
+		t.Fatal("self-send did not fail the run")
+	}
+	if _, err := eng.Fork(); err == nil || !strings.Contains(err.Error(), "fork of failed engine") {
+		t.Fatalf("fork of poisoned engine: %v", err)
+	}
+	ok := newTestEngine(t, 2, silentProtocol{})
+	if err := ok.SetAdversary(nil); err == nil {
+		t.Fatal("nil adversary accepted")
+	}
+	if err := ok.SetAdversary(Midpoint()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nilCloneProtocol violates the CloneState contract.
+type nilCloneProtocol struct{ silentProtocol }
+
+func (nilCloneProtocol) CloneState(Node) Node { return nil }
+
+// TestForkNilCloneRejected: a protocol whose CloneState returns nil fails
+// the fork with a precise error instead of a later panic.
+func TestForkNilCloneRejected(t *testing.T) {
+	eng := newTestEngine(t, 2, nilCloneProtocol{})
+	if _, err := eng.Fork(); err == nil || !strings.Contains(err.Error(), "CloneState returned nil") {
+		t.Fatalf("nil CloneState: %v", err)
+	}
+}

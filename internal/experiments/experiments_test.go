@@ -321,6 +321,7 @@ func TestE13(t *testing.T) {
 	if len(rows) != len(smallProtos())*len(opt.Cells) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(smallProtos())*len(opt.Cells))
 	}
+	seeded := 0
 	for _, r := range rows {
 		if !r.OK {
 			t.Errorf("%s on %s: searched %s below its floor (baseline %s, shift %s)",
@@ -333,8 +334,61 @@ func TestE13(t *testing.T) {
 		if r.Evaluated == 0 {
 			t.Errorf("%s on %s: no candidates evaluated", r.Protocol, r.Cell)
 		}
+		if r.Seeded {
+			seeded++
+			// A seeded two-node cell carries the certified construction in
+			// its beam: reaching the Shift bound is structural, not luck.
+			if r.Searched.Less(r.ShiftBound) {
+				t.Errorf("%s on %s: seeded search %s below certified bound %s",
+					r.Protocol, r.Cell, r.Searched, r.ShiftBound)
+			}
+		}
+		if r.StepsPerCand > r.ResimPerCand {
+			t.Errorf("%s on %s: prefix-cached %.1f steps/cand exceeds resim %.1f",
+				r.Protocol, r.Cell, r.StepsPerCand, r.ResimPerCand)
+		}
+	}
+	if seeded == 0 {
+		t.Error("no cell was seeded with a certified construction")
 	}
 	if !strings.Contains(table.Render(), "E13") {
 		t.Error("table missing E13 id")
+	}
+}
+
+// TestE13LongCells: the -long configuration reaches diameter 64, seeds the
+// scale cells, and enables windowed mutations on the small cells.
+func TestE13LongCells(t *testing.T) {
+	opt, err := DefaultE13(smallProtos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := LongE13Cells(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Rounds != opt.Rounds+1 {
+		t.Errorf("long rounds = %d, want %d", long.Rounds, opt.Rounds+1)
+	}
+	var d64, windowed, theorem bool
+	for _, c := range long.Cells {
+		if c.Net.Diameter().Equal(rat.FromInt(64)) && c.Seed == E13SeedShift && !c.MutateTail.IsZero() {
+			d64 = true
+		}
+		if c.RateWindows > 0 {
+			windowed = true
+		}
+		if c.Seed == E13SeedTheorem {
+			theorem = true
+		}
+	}
+	if !d64 {
+		t.Error("no seeded, tail-biased diameter-64 cell in -long mode")
+	}
+	if !windowed {
+		t.Error("no cell enables windowed rate mutations in -long mode")
+	}
+	if !theorem {
+		t.Error("no MainTheorem-seeded cell in -long mode")
 	}
 }

@@ -65,8 +65,11 @@ type Round struct {
 type MainTheoremResult struct {
 	D      int // number of nodes
 	Rounds []Round
-	// Final is the last execution α_R.
-	Final *trace.Execution
+	// Final is the last execution α_R, and FinalCfg the configuration that
+	// produced it (composed schedules plus the scripted delays); Seed
+	// exports FinalCfg to the worst-case search.
+	Final    *trace.Execution
+	FinalCfg sim.Config
 	// AdjacentI and AdjacentSkew: the adjacent pair (i, i+1) with the
 	// largest final skew — the paper's claim 8.7 quantity, which it proves
 	// reaches k/24 = Ω(log D / log log D).
@@ -227,6 +230,7 @@ func MainTheorem(in MainTheoremInput) (*MainTheoremResult, error) {
 	}
 
 	res.Final = alpha
+	res.FinalCfg = cfg
 	first := true
 	for i := 0; i+1 < d; i++ {
 		skew := alpha.FinalSkew(i, i+1)

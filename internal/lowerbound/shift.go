@@ -25,6 +25,9 @@ type ShiftResult struct {
 	// Implied is max(|SkewAlpha|, |SkewBeta|) ≥ Separation/2: a lower bound
 	// on this algorithm's worst-case f(d).
 	Implied rat.Rat
+	// BetaCfg is the configuration that re-simulated β (γ speed-up schedules
+	// plus the scripted delays); Seed exports it to the worst-case search.
+	BetaCfg sim.Config
 }
 
 // Shift runs the two-node construction for the given protocol and distance
@@ -75,6 +78,7 @@ func Shift(proto sim.Protocol, d rat.Rat, p Params) (*ShiftResult, error) {
 		SkewAlpha:  res.SkewAlpha,
 		SkewBeta:   res.SkewBeta,
 		Separation: res.Gain,
+		BetaCfg:    res.BetaCfg,
 	}
 	out.Implied = rat.Max(out.SkewAlpha.Abs(), out.SkewBeta.Abs())
 	return out, nil

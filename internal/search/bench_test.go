@@ -52,7 +52,7 @@ func BenchmarkSearch(b *testing.B) {
 			o.Workers = workers
 			b.ReportMetric(float64(len(cands)), "candidates/op")
 			for i := 0; i < b.N; i++ {
-				results := evalAll(o, cands)
+				results, _ := evalAll(o, cands)
 				for _, ev := range results {
 					if ev.err != nil {
 						b.Fatal(ev.err)
@@ -63,22 +63,48 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
-// BenchmarkSearchEndToEnd measures a whole small search, the unit gcsbench's
-// E13 runs per protocol × topology cell.
-func BenchmarkSearchEndToEnd(b *testing.B) {
-	net, err := network.TwoNode(rat.FromInt(4))
+// longE13Opts is the E13 -long scale workload: the two-node diameter-16
+// cell's search configuration (certified-bound horizon, tail-biased delay
+// mutations), shared by the end-to-end and prefix-cached benchmarks so the
+// steps-per-candidate comparison is apples to apples.
+func longE13Opts(b *testing.B) Options {
+	b.Helper()
+	d := rat.FromInt(16)
+	net, err := network.TwoNode(d)
 	if err != nil {
 		b.Fatal(err)
 	}
-	opt := Options{
+	return Options{
 		Net:            net,
 		Protocol:       algorithms.Gradient(algorithms.DefaultGradientParams()),
-		Duration:       rat.FromInt(8),
+		Duration:       rat.FromInt(2).Mul(d), // τ·d with the default ρ = 1/2
 		Rho:            rat.MustFrac(1, 2),
 		Rounds:         3,
 		Beam:           2,
 		DelayMutations: 8,
+		MutateTail:     rat.MustFrac(1, 2),
 	}
+}
+
+// BenchmarkSearchEndToEnd measures a whole search with prefix caching
+// disabled — every candidate re-simulated from scratch, the pre-fork
+// engine's behavior — on the E13 -long workload. Compare its steps/cand
+// metric with BenchmarkSearchPrefixCached to quantify the prefix-cache win.
+func BenchmarkSearchEndToEnd(b *testing.B) {
+	opt := longE13Opts(b)
+	opt.DisablePrefixCache = true
+	benchSearch(b, opt)
+}
+
+// BenchmarkSearchPrefixCached is the identical workload evaluated through
+// the prefix-tree scheduler: shared script prefixes run once, forks evaluate
+// suffixes only. Byte-identical results, fewer engine steps per candidate.
+func BenchmarkSearchPrefixCached(b *testing.B) {
+	benchSearch(b, longE13Opts(b))
+}
+
+func benchSearch(b *testing.B, opt Options) {
+	b.Helper()
 	var sink map[trace.MsgKey]rat.Rat
 	for i := 0; i < b.N; i++ {
 		res, err := Search(opt)
@@ -86,6 +112,8 @@ func BenchmarkSearchEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 		sink = res.Script
+		b.ReportMetric(float64(res.EngineSteps)/float64(res.Evaluated), "steps/cand")
+		b.ReportMetric(float64(res.CandidateSteps)/float64(res.Evaluated), "resim-steps/cand")
 	}
 	_ = sink
 }

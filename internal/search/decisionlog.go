@@ -11,15 +11,25 @@
 // close does that come to the certified bounds?
 //
 // The search is replay-based: a DecisionLog observer captures every
-// per-message delay decision of a run as a replayable script, candidate
-// mutations edit one decision (delay snapped to {0, bound/2, bound}) or one
-// node's rate (flipped within ±ρ), and every candidate is re-simulated from
-// scratch under a ScriptedAdversary whose tail handles decisions beyond the
-// script. No engine state is ever cloned or shared. Candidates are evaluated
-// concurrently by a bounded worker pool — each worker owns an independent
-// Engine and trackers — and reduced by deterministic argmax with ties broken
-// on candidate index, so the result is byte-identical regardless of worker
-// count or GOMAXPROCS.
+// per-message delay decision of a run as a replayable script, and candidate
+// mutations edit one decision (delay snapped to {0, bound/2, bound}), one
+// node's whole-run rate (flipped within ±ρ), or one node's rate over a
+// window (clock.ModifyWindow surgery), with a ScriptedAdversary tail
+// handling decisions beyond the script.
+//
+// Evaluation is prefix-cached: two candidates sharing a decision-script
+// prefix share the prefix execution, exactly the structure of the Fan &
+// Lynch constructions (perturb a base execution at chosen points, keep the
+// prefix indistinguishable). Each round groups the beam's delay mutants by
+// parent, replays the shared parent prefix once on a trunk engine, forks the
+// engine (Engine.Fork + tracker Clones) at each mutant's first diverging
+// decision, and evaluates only the suffix. Rate mutants change hardware
+// schedules from time zero, so they — and injected Seeds — are evaluated
+// from scratch. The fork-based evaluation is byte-identical to full
+// re-simulation (asserted by tests; DisablePrefixCache switches it off).
+// Candidates are evaluated concurrently by a bounded worker pool and reduced
+// by deterministic argmax with ties broken on candidate index, so the result
+// is byte-identical regardless of worker count or GOMAXPROCS.
 package search
 
 import (
@@ -32,13 +42,18 @@ import (
 )
 
 // Decision is one captured per-message delay choice: the message identity,
-// when it was sent, the adversary's chosen delay, and the bound d(from,to)
-// the choice was made within.
+// when it was sent, the adversary's chosen delay, the bound d(from,to) the
+// choice was made within, and the 1-based index of the dispatched engine
+// event during which the send happened. Event is what lets the prefix-cached
+// evaluator position a fork exactly before the event that realizes a mutated
+// decision: replay Event−1 events, fork, and the mutant's whole divergence
+// plays out in the fork.
 type Decision struct {
 	Key      trace.MsgKey
 	SendReal rat.Rat
 	Delay    rat.Rat
 	Bound    rat.Rat
+	Event    uint64
 }
 
 // DecisionLog is an engine observer that captures every per-message delay
@@ -48,6 +63,7 @@ type Decision struct {
 type DecisionLog struct {
 	net       *network.Network
 	decisions []Decision
+	events    uint64 // dispatched events seen so far (== Engine.Steps())
 }
 
 // NewDecisionLog returns a log for runs over net (needed to recover each
@@ -56,8 +72,27 @@ func NewDecisionLog(net *network.Network) *DecisionLog {
 	return &DecisionLog{net: net}
 }
 
-// OnAction implements the engine Observer interface (no-op).
-func (l *DecisionLog) OnAction(trace.Action) {}
+// Clone returns an independent copy of the log. Attach the clone to a forked
+// engine to keep capturing a branched run's decisions: the clone carries the
+// shared prefix (including the event counter, so Decision.Event stays
+// aligned with Engine.Steps across the fork), and the original continues
+// logging its own branch untouched.
+func (l *DecisionLog) Clone() *DecisionLog {
+	return &DecisionLog{
+		net:       l.net,
+		decisions: append([]Decision(nil), l.decisions...),
+		events:    l.events,
+	}
+}
+
+// OnAction implements the engine Observer interface: dispatched events
+// (init, timer, recv — everything but the send actions emitted from inside
+// them) advance the event counter stamped onto decisions.
+func (l *DecisionLog) OnAction(a trace.Action) {
+	if a.Kind != trace.KindSend {
+		l.events++
+	}
+}
 
 // OnSend implements the engine Observer interface: every send is one delay
 // decision, captured at the moment the adversary fixed it.
@@ -67,6 +102,7 @@ func (l *DecisionLog) OnSend(rec trace.MsgRecord) {
 		SendReal: rec.SendReal,
 		Delay:    rec.Delay,
 		Bound:    l.net.Dist(rec.Key.From, rec.Key.To),
+		Event:    l.events,
 	})
 }
 

@@ -1,0 +1,205 @@
+// Prefix-cached candidate evaluation: the scheduler that turns shared
+// decision-script prefixes into shared execution.
+//
+// A delay mutant differs from its parent only from one captured decision on;
+// everything before that decision — and therefore every engine event before
+// the event that realizes it — is byte-identical to the parent's run. The
+// scheduler exploits this by grouping each round's delay mutants by parent,
+// replaying the parent's script once on a "trunk" engine, stepping the trunk
+// to just before each mutant's diverging event (mutants are processed in
+// divergence order, so the trunk advances monotonically and is replayed at
+// most once per parent), and forking there: Engine.Fork clones the engine,
+// the online trackers are Cloned alongside, the fork gets the mutant's
+// script as its adversary, and only the suffix is simulated.
+//
+// Equivalence to from-scratch evaluation is structural: the fork point lies
+// strictly before the first diverging decision, the forked state equals what
+// the mutant's own run would have reached (the executions are identical up
+// to there), and the cloned trackers carry the prefix metrics. Tests assert
+// byte-identical Results against DisablePrefixCache for every worker count.
+//
+// Rate mutants, windowed mutants, and seeds change hardware schedules from
+// time zero, so they share no prefix and evaluate from scratch on the same
+// worker pool.
+package search
+
+import (
+	"sort"
+	"sync"
+
+	"gcs/internal/core"
+	"gcs/internal/engine"
+)
+
+// evalAll evaluates every candidate on a bounded worker pool and returns the
+// evaluations (indexed by candidate position, so no scheduling
+// nondeterminism can leak into the reduction) plus the number of engine
+// events actually dispatched — trunk replays included.
+func evalAll(opt Options, cands []candidate) ([]evaluation, uint64) {
+	results := make([]evaluation, len(cands))
+
+	// Partition: delay mutants group by parent log, everything else is
+	// from-scratch work.
+	var scratch []int
+	groups := make(map[*DecisionLog][]int)
+	var order []*DecisionLog
+	for i, c := range cands {
+		if opt.DisablePrefixCache || c.parent == nil {
+			scratch = append(scratch, i)
+			continue
+		}
+		if _, ok := groups[c.parent]; !ok {
+			order = append(order, c.parent)
+		}
+		groups[c.parent] = append(groups[c.parent], i)
+	}
+
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+	spawn := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f()
+		}()
+	}
+
+	for _, i := range scratch {
+		i := i
+		spawn(func() { results[i] = evaluate(opt, cands[i]) })
+	}
+	trunkSteps := make([]uint64, len(order))
+	for gi, plog := range order {
+		gi, plog := gi, plog
+		idxs := append([]int(nil), groups[plog]...)
+		// Divergence order: the trunk only ever steps forward.
+		sort.Slice(idxs, func(a, b int) bool {
+			if cands[idxs[a]].divEvent != cands[idxs[b]].divEvent {
+				return cands[idxs[a]].divEvent < cands[idxs[b]].divEvent
+			}
+			return idxs[a] < idxs[b]
+		})
+		spawn(func() { trunkSteps[gi] = runTrunk(opt, cands, idxs, plog, results, spawn) })
+	}
+	wg.Wait()
+
+	var dispatched uint64
+	for _, ev := range results {
+		dispatched += ev.cost
+	}
+	for _, s := range trunkSteps {
+		dispatched += s
+	}
+	return results, dispatched
+}
+
+// runTrunk replays one parent's execution and forks a suffix evaluation for
+// each of its delay mutants, in divergence order. It returns the number of
+// events the trunk itself dispatched.
+func runTrunk(opt Options, cands []candidate, idxs []int, plog *DecisionLog, results []evaluation, spawn func(func())) uint64 {
+	failFrom := func(k int, err error) {
+		for _, i := range idxs[k:] {
+			results[i] = evaluation{cand: cands[i], err: err}
+		}
+	}
+	scheds := effectiveScheds(opt, cands[idxs[0]])
+	skew, err := core.NewSkewTracker(opt.Net, scheds)
+	if err != nil {
+		failFrom(0, err)
+		return 0
+	}
+	log := NewDecisionLog(opt.Net)
+	trunk, err := engine.New(opt.Net,
+		engine.WithProtocol(opt.Protocol),
+		engine.WithAdversary(engine.ScriptedAdversary{Delays: plog.Script(), Fallback: opt.Base}),
+		engine.WithSchedules(scheds),
+		engine.WithRho(opt.Rho),
+		engine.WithObservers(skew, log),
+	)
+	if err != nil {
+		failFrom(0, err)
+		return 0
+	}
+	for k, i := range idxs {
+		c := cands[i]
+		target := c.divEvent
+		if target > 0 {
+			target-- // replay everything before the diverging event
+		}
+		for trunk.Steps() < target {
+			ok, err := trunk.Step()
+			if err != nil {
+				failFrom(k, err)
+				return trunk.Steps()
+			}
+			if !ok {
+				break // parent queue drained early; fork from the idle state
+			}
+		}
+		if err := skew.Err(); err != nil {
+			failFrom(k, err)
+			return trunk.Steps()
+		}
+		fork, err := trunk.Fork()
+		if err != nil {
+			results[i] = evaluation{cand: c, err: err}
+			continue
+		}
+		if err := fork.SetAdversary(engine.ScriptedAdversary{Delays: c.script, Fallback: opt.Base}); err != nil {
+			results[i] = evaluation{cand: c, err: err}
+			continue
+		}
+		fskew := skew.Clone()
+		flog := log.Clone()
+		fork.Observe(fskew, flog)
+		prefix := fork.Steps()
+		i := i
+		spawn(func() { results[i] = finish(opt, c, fork, fskew, flog, prefix) })
+	}
+	return trunk.Steps()
+}
+
+// finish drives a forked engine to the horizon and reads the objective off
+// its cloned tracker — the suffix half of an evaluation. prefix is the event
+// count inherited from the trunk, excluded from the evaluation's own cost.
+func finish(opt Options, cand candidate, eng *engine.Engine, skew *core.SkewTracker, log *DecisionLog, prefix uint64) evaluation {
+	ev := evaluation{cand: cand}
+	if err := eng.RunUntil(opt.Duration); err != nil {
+		ev.err = err
+		return ev
+	}
+	if err := skew.Err(); err != nil {
+		ev.err = err
+		return ev
+	}
+	ev.log = log
+	ev.steps = eng.Steps()
+	ev.cost = eng.Steps() - prefix
+	ev.value, ev.witness = objectiveValue(opt, skew)
+	return ev
+}
+
+// evaluate re-simulates one candidate from scratch and reads the objective
+// off the online trackers.
+func evaluate(opt Options, cand candidate) evaluation {
+	scheds := effectiveScheds(opt, cand)
+	skew, err := core.NewSkewTracker(opt.Net, scheds)
+	if err != nil {
+		return evaluation{cand: cand, err: err}
+	}
+	log := NewDecisionLog(opt.Net)
+	adv := engine.ScriptedAdversary{Delays: cand.script, Fallback: opt.Base}
+	eng, err := engine.New(opt.Net,
+		engine.WithProtocol(opt.Protocol),
+		engine.WithAdversary(adv),
+		engine.WithSchedules(scheds),
+		engine.WithRho(opt.Rho),
+		engine.WithObservers(skew, log),
+	)
+	if err != nil {
+		return evaluation{cand: cand, err: err}
+	}
+	return finish(opt, cand, eng, skew, log, 0)
+}

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"gcs/internal/clock"
 	"gcs/internal/core"
@@ -59,6 +58,23 @@ func ParseObjective(s string) (Objective, error) {
 	}
 }
 
+// Seed is an initial candidate injected into the search beam next to the
+// unmutated base: a replayable delay script and, optionally, full hardware
+// schedules. Seeds are how the certified lower-bound constructions enter the
+// search (see internal/lowerbound AdversarySeed exporters): seeded with the
+// Shift construction's β execution, the hunter starts at — not below — the
+// proven bound, and mutates outward from there.
+type Seed struct {
+	// Name labels the seed in error messages.
+	Name string
+	// Script is the seed's delay script, replayed over the Base tail.
+	Script map[trace.MsgKey]rat.Rat
+	// Schedules, when non-nil, replaces the base hardware schedules for this
+	// candidate (length must equal the node count). The constructions' rate
+	// surgery (e.g. the Add Skew γ speed-up) arrives through this field.
+	Schedules []*clock.Schedule
+}
+
 // Options configures a worst-case search.
 type Options struct {
 	Net      *network.Network
@@ -74,6 +90,10 @@ type Options struct {
 	// beyond every candidate script. Default: Midpoint().
 	Base engine.Adversary
 
+	// Seeds are additional initial candidates (certified constructions,
+	// previous winners) evaluated alongside the base in round zero.
+	Seeds []Seed
+
 	Objective Objective
 	// Gradient is the bound f for ObjectiveGradientMargin (required there,
 	// ignored otherwise).
@@ -88,10 +108,28 @@ type Options struct {
 	// per round, sampled evenly across the decision log so late decisions
 	// are reachable. Default 16.
 	DelayMutations int
+	// MutateTail, when nonzero (in (0, 1]), restricts delay-mutation
+	// sampling to the final MutateTail fraction of each parent's decision
+	// log. This is the shape of the paper's surgery — perturb the end of the
+	// run, keep the prefix indistinguishable — and it is what makes
+	// prefix-cached evaluation pay: the shared prefix grows with 1−MutateTail.
+	// Zero (the default) samples the whole log.
+	MutateTail rat.Rat
+	// RateWindows, when > 0, adds windowed rate-schedule mutations to the
+	// move set: the run is split into RateWindows equal real-time windows,
+	// and each candidate applies clock.ModifyWindow to one node over one
+	// window, pinning its rate to 1−ρ or 1+ρ there (the Bounded Increase
+	// lemma's surgery shape). Zero disables them.
+	RateWindows int
 	// Workers bounds the evaluation pool. Default GOMAXPROCS.
 	Workers int
-	// DisableRateMutations restricts the search to delay choices only.
+	// DisableRateMutations restricts the search to delay choices only
+	// (whole-run flips and windowed surgery alike).
 	DisableRateMutations bool
+	// DisablePrefixCache evaluates every candidate from scratch instead of
+	// forking shared script prefixes. Results are byte-identical either way;
+	// the flag exists for benchmarking and for the equivalence tests.
+	DisablePrefixCache bool
 }
 
 // Result is the outcome of a search: the best adversary found, as a
@@ -112,12 +150,45 @@ type Result struct {
 	// to reproduce the execution exactly.
 	Script map[trace.MsgKey]rat.Rat
 	// Rates holds per-node constant-rate overrides; a zero Rat means the
-	// node keeps its base schedule.
+	// node keeps its base schedule. When the winner carries windowed surgery
+	// or seed schedules that no constant rate describes, the corresponding
+	// entries are zero and Schedules is authoritative.
 	Rates []rat.Rat
+	// Schedules are the effective hardware schedules of the best run (base
+	// schedules, constant-rate overrides, windowed surgery, and seed
+	// schedules all applied). Replaying Script under Schedules reproduces
+	// the winning execution exactly.
+	Schedules []*clock.Schedule
 	// Rounds is the number of mutation rounds executed, Evaluated the total
 	// number of candidate simulations.
 	Rounds    int
 	Evaluated int
+	// EngineSteps counts the engine events actually dispatched across the
+	// whole search — shared prefixes once, plus the trunk replays that
+	// position the forks. CandidateSteps counts what the same evaluations
+	// would have dispatched re-simulated from scratch (the sum of every
+	// candidate's full execution length); the ratio CandidateSteps /
+	// EngineSteps is the prefix-cache speedup.
+	EngineSteps    uint64
+	CandidateSteps uint64
+}
+
+// StepsPerCandidate returns the engine events dispatched per evaluated
+// candidate, and ResimPerCandidate what from-scratch re-simulation would
+// have dispatched; SavedFraction is 1 − Steps/Resim, the prefix-cache
+// saving. The CLIs and E13 report exactly these.
+func (r *Result) StepsPerCandidate() float64 {
+	return float64(r.EngineSteps) / float64(r.Evaluated)
+}
+
+// ResimPerCandidate returns the from-scratch engine events per candidate.
+func (r *Result) ResimPerCandidate() float64 {
+	return float64(r.CandidateSteps) / float64(r.Evaluated)
+}
+
+// SavedFraction returns the fraction of engine events prefix caching saved.
+func (r *Result) SavedFraction() float64 {
+	return 1 - float64(r.EngineSteps)/float64(r.CandidateSteps)
 }
 
 // ReplayAdversary returns the adversary reproducing the best execution found
@@ -127,7 +198,9 @@ func (r *Result) ReplayAdversary(base engine.Adversary) engine.ScriptedAdversary
 }
 
 // ReplaySchedules returns the hardware schedules of the best execution:
-// base schedules with the searched constant-rate overrides applied.
+// base schedules with the searched constant-rate overrides applied. When the
+// winner carries windowed or seeded schedules, use the Schedules field
+// instead — it is always exact.
 func (r *Result) ReplaySchedules(base []*clock.Schedule) []*clock.Schedule {
 	out := make([]*clock.Schedule, len(base))
 	for i := range base {
@@ -142,12 +215,21 @@ func (r *Result) ReplaySchedules(base []*clock.Schedule) []*clock.Schedule {
 
 // candidate is one point of the search space: a delay script layered over
 // the base tail adversary, plus per-node constant-rate overrides (zero Rat =
-// base schedule). id is the global discovery index, the deterministic
-// tie-breaker.
+// base schedule) and, for seeds and windowed mutants, a full schedule
+// override. id is the global discovery index, the deterministic tie-breaker.
 type candidate struct {
 	id     int
 	script map[trace.MsgKey]rat.Rat
 	rates  []rat.Rat
+	scheds []*clock.Schedule // non-nil: full base-schedule override
+
+	// Prefix lineage, set on delay mutants only: the parent's realized
+	// decision log, the index of the first decision this candidate changes,
+	// and that decision's dispatch-event index. A nil parent (rate mutants,
+	// seeds, the base) evaluates from scratch.
+	parent   *DecisionLog
+	divIdx   int
+	divEvent uint64
 }
 
 // evaluation is a candidate's simulated outcome.
@@ -156,6 +238,8 @@ type evaluation struct {
 	value   rat.Rat
 	witness core.PairSkew
 	log     *DecisionLog
+	steps   uint64 // full execution length (prefix + suffix)
+	cost    uint64 // events this evaluation actually dispatched (suffix only when forked)
 	err     error
 }
 
@@ -168,19 +252,36 @@ func Search(opt Options) (*Result, error) {
 	}
 	n := opt.Net.N()
 
-	seed := candidate{id: 0, rates: make([]rat.Rat, n)}
-	evals := evalAll(opt, []candidate{seed})
-	if evals[0].err != nil {
-		return nil, fmt.Errorf("search: base run: %w", evals[0].err)
+	initial := []candidate{{id: 0, rates: make([]rat.Rat, n)}}
+	for _, s := range opt.Seeds {
+		initial = append(initial, candidate{
+			id:     len(initial),
+			script: s.Script,
+			rates:  make([]rat.Rat, n),
+			scheds: s.Schedules,
+		})
+	}
+	evals, dispatched := evalAll(opt, initial)
+	for i, ev := range evals {
+		if ev.err != nil {
+			if i == 0 {
+				return nil, fmt.Errorf("search: base run: %w", ev.err)
+			}
+			return nil, fmt.Errorf("search: seed %q: %w", opt.Seeds[i-1].Name, ev.err)
+		}
 	}
 	base := evals[0]
-	best := base
-	beam := []evaluation{base}
-	nextID := 1
-	evaluated := 1
+	engineSteps, candidateSteps := dispatched, fullSteps(evals)
+	beam := reduce(append([]evaluation(nil), evals...), opt.Beam)
+	best := beam[0]
+	nextID := len(initial)
+	evaluated := len(initial)
 	rounds := 0
 
-	seen := map[string]bool{key(seed): true}
+	seen := make(map[string]bool, len(initial))
+	for _, c := range initial {
+		seen[key(c)] = true
+	}
 	for round := 0; round < opt.Rounds; round++ {
 		var cands []candidate
 		for _, parent := range beam {
@@ -199,8 +300,10 @@ func Search(opt Options) (*Result, error) {
 			break
 		}
 		rounds++
-		results := evalAll(opt, cands)
+		results, dispatched := evalAll(opt, cands)
 		evaluated += len(results)
+		engineSteps += dispatched
+		candidateSteps += fullSteps(results)
 		for _, ev := range results {
 			if ev.err != nil {
 				return nil, fmt.Errorf("search: candidate %d: %w", ev.cand.id, ev.err)
@@ -214,15 +317,27 @@ func Search(opt Options) (*Result, error) {
 	}
 
 	return &Result{
-		Objective: opt.Objective,
-		Baseline:  base.value,
-		Best:      best.value,
-		Witness:   best.witness,
-		Script:    best.log.Script(),
-		Rates:     best.cand.rates,
-		Rounds:    rounds,
-		Evaluated: evaluated,
+		Objective:      opt.Objective,
+		Baseline:       base.value,
+		Best:           best.value,
+		Witness:        best.witness,
+		Script:         best.log.Script(),
+		Rates:          best.cand.rates,
+		Schedules:      effectiveScheds(opt, best.cand),
+		Rounds:         rounds,
+		Evaluated:      evaluated,
+		EngineSteps:    engineSteps,
+		CandidateSteps: candidateSteps,
 	}, nil
+}
+
+// fullSteps sums the full execution lengths of a batch.
+func fullSteps(evals []evaluation) uint64 {
+	var total uint64
+	for _, ev := range evals {
+		total += ev.steps
+	}
+	return total
 }
 
 // normalize validates opt and fills defaults.
@@ -249,6 +364,17 @@ func normalize(opt *Options) error {
 	if len(opt.Schedules) != n {
 		return fmt.Errorf("search: %d schedules for %d nodes", len(opt.Schedules), n)
 	}
+	for _, s := range opt.Seeds {
+		if s.Schedules != nil && len(s.Schedules) != n {
+			return fmt.Errorf("search: seed %q has %d schedules for %d nodes", s.Name, len(s.Schedules), n)
+		}
+	}
+	if opt.MutateTail.Sign() < 0 || opt.MutateTail.Greater(rat.FromInt(1)) {
+		return fmt.Errorf("search: MutateTail %s outside [0, 1]", opt.MutateTail)
+	}
+	if opt.RateWindows < 0 {
+		return fmt.Errorf("search: negative RateWindows %d", opt.RateWindows)
+	}
 	if opt.Base == nil {
 		opt.Base = engine.Midpoint()
 	}
@@ -267,22 +393,45 @@ func normalize(opt *Options) error {
 	return nil
 }
 
+// effectiveScheds materializes the hardware schedules a candidate runs
+// under: its full override (seeds, windowed mutants) or the base schedules,
+// with constant-rate overrides applied on top.
+func effectiveScheds(opt Options, cand candidate) []*clock.Schedule {
+	base := opt.Schedules
+	if cand.scheds != nil {
+		base = cand.scheds
+	}
+	out := make([]*clock.Schedule, len(base))
+	for i, s := range base {
+		if i < len(cand.rates) && !cand.rates[i].IsZero() {
+			out[i] = clock.Constant(cand.rates[i])
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}
+
 // delaySnaps are the candidate delay fractions of the bound: the extremes
 // and the midpoint the constructions use.
 var delaySnaps = []rat.Rat{{}, rat.MustFrac(1, 2), rat.FromInt(1)}
 
 // mutations enumerates the deterministic single-step edits of a parent
-// candidate: per-node rate flips within ±ρ, then per-decision delay snaps
-// over an even sample of the parent's realized decision log.
+// candidate: per-node whole-run rate flips within ±ρ, windowed rate surgery
+// (when enabled), then per-decision delay snaps over an even sample of the
+// parent's realized decision log (optionally restricted to its tail). Delay
+// mutants carry prefix lineage; rate mutants change clocks from time zero
+// and evaluate from scratch.
 func mutations(opt Options, parent evaluation) []candidate {
 	var out []candidate
 
+	// Rate-change candidates never edit their script, so they can share one
+	// copy of the parent's realized decisions (read-only during replay).
+	var shared map[trace.MsgKey]rat.Rat
 	if !opt.DisableRateMutations {
+		shared = parent.log.Script()
 		one := rat.FromInt(1)
 		rateChoices := []rat.Rat{one.Sub(opt.Rho), one, one.Add(opt.Rho)}
-		// Rate-flip candidates never edit their script, so they can share one
-		// copy of the parent's realized decisions (read-only during replay).
-		shared := parent.log.Script()
 		for node := 0; node < opt.Net.N(); node++ {
 			cur := effectiveRate(opt, parent.cand, node)
 			for _, r := range rateChoices {
@@ -291,13 +440,14 @@ func mutations(opt Options, parent evaluation) []candidate {
 				}
 				rates := append([]rat.Rat(nil), parent.cand.rates...)
 				rates[node] = r
-				out = append(out, candidate{script: shared, rates: rates})
+				out = append(out, candidate{script: shared, rates: rates, scheds: parent.cand.scheds})
 			}
 		}
+		out = append(out, windowMutations(opt, parent, shared)...)
 	}
 
 	decs := parent.log.Decisions()
-	for _, idx := range sampleIndices(len(decs), opt.DelayMutations) {
+	for _, idx := range sampleTail(len(decs), opt.DelayMutations, opt.MutateTail) {
 		d := decs[idx]
 		for _, frac := range delaySnaps {
 			v := frac.Mul(d.Bound)
@@ -306,25 +456,113 @@ func mutations(opt Options, parent evaluation) []candidate {
 			}
 			script := parent.log.Script()
 			script[d.Key] = v
-			out = append(out, candidate{script: script, rates: parent.cand.rates})
+			out = append(out, candidate{
+				script: script,
+				rates:  parent.cand.rates,
+				scheds: parent.cand.scheds,
+				parent: parent.log,
+				divIdx: idx, divEvent: d.Event,
+			})
 		}
 	}
 	return out
 }
 
+// windowMutations enumerates the windowed rate surgery: one node's rate
+// pinned to 1−ρ or 1+ρ over one of RateWindows equal slices of the run,
+// original schedule elsewhere — the Bounded Increase lemma's ModifyWindow
+// surgery as a search move. The resulting schedules rarely stay constant, so
+// these candidates drop their constant-rate bookkeeping and carry the full
+// schedule set.
+func windowMutations(opt Options, parent evaluation, shared map[trace.MsgKey]rat.Rat) []candidate {
+	if opt.RateWindows <= 0 || opt.Rho.Sign() <= 0 {
+		return nil
+	}
+	parentScheds := effectiveScheds(opt, parent.cand)
+	one := rat.FromInt(1)
+	pins := []rat.Rat{one.Sub(opt.Rho), one.Add(opt.Rho)}
+	w := int64(opt.RateWindows)
+	var out []candidate
+	for node := 0; node < opt.Net.N(); node++ {
+		for win := int64(0); win < w; win++ {
+			from := opt.Duration.Mul(rat.MustFrac(win, w))
+			to := opt.Duration.Mul(rat.MustFrac(win+1, w))
+			for _, r := range pins {
+				if r.Sign() <= 0 {
+					continue
+				}
+				pinned := r
+				ns, err := parentScheds[node].ModifyWindow(from, to, func(rat.Rat) rat.Rat { return pinned })
+				if err != nil || schedEqual(ns, parentScheds[node]) {
+					continue
+				}
+				scheds := append([]*clock.Schedule(nil), parentScheds...)
+				scheds[node] = ns
+				out = append(out, candidate{
+					script: shared,
+					rates:  make([]rat.Rat, opt.Net.N()),
+					scheds: scheds,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// schedEqual reports whether two schedules have identical rate segments.
+func schedEqual(a, b *clock.Schedule) bool {
+	ra, rb := a.Rates(), b.Rates()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if !ra[i].At.Equal(rb[i].At) || !ra[i].Rate.Equal(rb[i].Rate) {
+			return false
+		}
+	}
+	return true
+}
+
 // effectiveRate returns the constant rate node runs at under cand, or nil
-// when the base schedule is not constant (then every flip is a real change).
+// when its effective schedule is not constant (then every flip is a real
+// change).
 func effectiveRate(opt Options, cand candidate, node int) *rat.Rat {
 	if !cand.rates[node].IsZero() {
 		r := cand.rates[node]
 		return &r
 	}
-	segs := opt.Schedules[node].Rates()
+	base := opt.Schedules
+	if cand.scheds != nil {
+		base = cand.scheds
+	}
+	segs := base[node].Rates()
 	if len(segs) == 1 {
 		r := segs[0].Rate
 		return &r
 	}
 	return nil
+}
+
+// sampleTail samples up to k indices from the final `tail` fraction of
+// [0, n): the whole range when tail is zero (or one), matching sampleIndices
+// exactly in that case.
+func sampleTail(n, k int, tail rat.Rat) []int {
+	if tail.Sign() <= 0 || tail.GreaterEq(rat.FromInt(1)) {
+		return sampleIndices(n, k)
+	}
+	span := int(tail.Mul(rat.FromInt(int64(n))).Floor())
+	if span < 1 {
+		span = 1
+	}
+	if span > n {
+		span = n
+	}
+	start := n - span
+	idxs := sampleIndices(span, k)
+	for i := range idxs {
+		idxs[i] += start
+	}
+	return idxs
 }
 
 // sampleIndices returns up to k indices spread evenly across [0, n), always
@@ -356,7 +594,7 @@ func sampleIndices(n, k int) []int {
 }
 
 // key canonicalizes a candidate for deduplication: rates plus sorted script
-// entries.
+// entries, plus the full schedule override when one is present.
 func key(c candidate) string {
 	var b strings.Builder
 	for i, r := range c.rates {
@@ -368,85 +606,15 @@ func key(c candidate) string {
 	}
 	sort.Strings(entries)
 	b.WriteString(strings.Join(entries, ";"))
-	return b.String()
-}
-
-// evalAll simulates every candidate concurrently on a bounded worker pool.
-// Each worker owns an independent Engine and trackers; results land in a
-// slice indexed by candidate position, so no ordering nondeterminism can
-// leak into the reduction.
-func evalAll(opt Options, cands []candidate) []evaluation {
-	results := make([]evaluation, len(cands))
-	workers := opt.Workers
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	if workers <= 1 {
-		for i, c := range cands {
-			results[i] = evaluate(opt, c)
-		}
-		return results
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = evaluate(opt, cands[i])
+	if c.scheds != nil {
+		for i, s := range c.scheds {
+			fmt.Fprintf(&b, ";S%d=", i)
+			for _, seg := range s.Rates() {
+				fmt.Fprintf(&b, "%s@%s,", seg.Rate.Key(), seg.At.Key())
 			}
-		}()
-	}
-	for i := range cands {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return results
-}
-
-// evaluate re-simulates one candidate from scratch and reads the objective
-// off the online trackers.
-func evaluate(opt Options, cand candidate) evaluation {
-	ev := evaluation{cand: cand}
-	scheds := make([]*clock.Schedule, len(opt.Schedules))
-	for i, s := range opt.Schedules {
-		if !cand.rates[i].IsZero() {
-			scheds[i] = clock.Constant(cand.rates[i])
-		} else {
-			scheds[i] = s
 		}
 	}
-	skew, err := core.NewSkewTracker(opt.Net, scheds)
-	if err != nil {
-		ev.err = err
-		return ev
-	}
-	log := NewDecisionLog(opt.Net)
-	adv := engine.ScriptedAdversary{Delays: cand.script, Fallback: opt.Base}
-	eng, err := engine.New(opt.Net,
-		engine.WithProtocol(opt.Protocol),
-		engine.WithAdversary(adv),
-		engine.WithSchedules(scheds),
-		engine.WithRho(opt.Rho),
-		engine.WithObservers(skew, log),
-	)
-	if err != nil {
-		ev.err = err
-		return ev
-	}
-	if err := eng.RunUntil(opt.Duration); err != nil {
-		ev.err = err
-		return ev
-	}
-	if err := skew.Err(); err != nil {
-		ev.err = err
-		return ev
-	}
-	ev.log = log
-	ev.value, ev.witness = objectiveValue(opt, skew)
-	return ev
+	return b.String()
 }
 
 // objectiveValue reads the configured objective off a flushed tracker.

@@ -87,6 +87,10 @@ func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	resultsEqual(t, serial, parallel)
+	if serial.EngineSteps != parallel.EngineSteps || serial.CandidateSteps != parallel.CandidateSteps {
+		t.Fatalf("step accounting differs across workers: %d/%d vs %d/%d",
+			serial.EngineSteps, serial.CandidateSteps, parallel.EngineSteps, parallel.CandidateSteps)
+	}
 
 	prev := runtime.GOMAXPROCS(1)
 	single, err := Search(lineOpts(t, 5, 8))
@@ -95,6 +99,172 @@ func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	resultsEqual(t, serial, single)
+}
+
+// TestPrefixCacheMatchesFullResim: the tentpole equivalence — the
+// prefix-tree evaluator must return byte-identical Results (Best, Witness,
+// Script, Rates, plus the round and evaluation counts) to evaluating every
+// candidate from scratch, across topologies, protocols, worker counts, and
+// the extended move set; and it must actually dispatch fewer engine events.
+func TestPrefixCacheMatchesFullResim(t *testing.T) {
+	ring, err := network.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := network.TwoNode(ri(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"gradient-line", lineOpts(t, 5, 4)},
+		{"gradient-line-serial", lineOpts(t, 5, 1)},
+		{"maxgossip-ring", Options{
+			Net: ring, Protocol: algorithms.MaxGossip(ri(1)), Duration: ri(8),
+			Rho: rf(1, 2), Rounds: 3, Beam: 2, DelayMutations: 6, Workers: 4,
+		}},
+		{"llw-twonode-tail", Options{
+			Net: two, Protocol: algorithms.LLW(algorithms.DefaultLLWParams()), Duration: ri(8),
+			Rho: rf(1, 2), Rounds: 3, Beam: 2, DelayMutations: 6, Workers: 4,
+			MutateTail: rf(1, 2),
+		}},
+		{"gradient-line-windows", func() Options {
+			o := lineOpts(t, 4, 4)
+			o.RateWindows = 2
+			return o
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cached, err := Search(tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := tc.opt
+			full.DisablePrefixCache = true
+			scratch, err := Search(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, cached, scratch)
+			if cached.CandidateSteps != scratch.CandidateSteps {
+				t.Fatalf("candidate steps differ: cached %d vs scratch %d", cached.CandidateSteps, scratch.CandidateSteps)
+			}
+			if scratch.EngineSteps != scratch.CandidateSteps {
+				t.Fatalf("full resim dispatched %d events but candidates total %d; accounting broken",
+					scratch.EngineSteps, scratch.CandidateSteps)
+			}
+			if cached.EngineSteps >= scratch.EngineSteps {
+				t.Fatalf("prefix cache dispatched %d events, full resim %d; no sharing happened",
+					cached.EngineSteps, scratch.EngineSteps)
+			}
+		})
+	}
+}
+
+// TestSearchSeeded: a seeded search must start at, not below, the seed's
+// own objective value, and seeds must survive validation.
+func TestSearchSeeded(t *testing.T) {
+	opt := lineOpts(t, 4, 4)
+	plain, err := Search(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the next search with the previous winner: the new Best can only
+	// be ≥ the seeded value, even with a crippled mutation budget.
+	seeded := opt
+	seeded.Rounds = 1
+	seeded.DelayMutations = 1
+	seeded.Seeds = []Seed{{
+		Name:      "previous-winner",
+		Script:    plain.Script,
+		Schedules: plain.Schedules,
+	}}
+	res, err := Search(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Less(plain.Best) {
+		t.Fatalf("seeded search Best %s below its seed's value %s", res.Best, plain.Best)
+	}
+
+	bad := opt
+	bad.Seeds = []Seed{{Name: "short", Schedules: []*clock.Schedule{clock.Constant(ri(1))}}}
+	if _, err := Search(bad); err == nil || !strings.Contains(err.Error(), "schedules") {
+		t.Fatalf("seed with wrong schedule count accepted: %v", err)
+	}
+}
+
+// TestSearchWindowMutations: with windowed rate surgery enabled the winner
+// may carry non-constant schedules; Result.Schedules must replay to exactly
+// the reported objective value.
+func TestSearchWindowMutations(t *testing.T) {
+	opt := lineOpts(t, 4, 4)
+	opt.RateWindows = 2
+	res, err := Search(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := lineOpts(t, 4, 4)
+	plainRes, err := Search(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Less(plainRes.Baseline) {
+		t.Fatalf("windowed search Best %s below baseline %s", res.Best, plainRes.Baseline)
+	}
+	replayToBest(t, opt, res)
+}
+
+// replayToBest drives a fresh engine under the Result's exact schedules and
+// script and demands the reported objective value.
+func replayToBest(t *testing.T, opt Options, res *Result) {
+	t.Helper()
+	skew, err := core.NewSkewTracker(opt.Net, res.Schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(opt.Net,
+		engine.WithProtocol(opt.Protocol),
+		engine.WithAdversary(res.ReplayAdversary(engine.Midpoint())),
+		engine.WithSchedules(res.Schedules),
+		engine.WithRho(opt.Rho),
+		engine.WithObservers(skew),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(opt.Duration); err != nil {
+		t.Fatal(err)
+	}
+	if g := skew.Global().Skew; !g.Equal(res.Best) {
+		t.Fatalf("replay global skew %s != searched %s", g, res.Best)
+	}
+}
+
+// TestSampleTail: tail sampling restricts indices to the final fraction and
+// degrades to whole-log sampling at 0 and 1.
+func TestSampleTail(t *testing.T) {
+	whole := sampleTail(100, 5, rat.Rat{})
+	if len(whole) != 5 || whole[0] != 0 || whole[4] != 99 {
+		t.Fatalf("sampleTail(100,5,0) = %v, want whole-log sample", whole)
+	}
+	one := sampleTail(100, 5, ri(1))
+	for i := range whole {
+		if whole[i] != one[i] {
+			t.Fatalf("sampleTail(...,1) = %v differs from whole-log %v", one, whole)
+		}
+	}
+	half := sampleTail(100, 5, rf(1, 2))
+	if len(half) != 5 || half[0] != 50 || half[4] != 99 {
+		t.Fatalf("sampleTail(100,5,1/2) = %v, want 5 indices in [50,99]", half)
+	}
+	tiny := sampleTail(4, 8, rf(1, 100))
+	if len(tiny) != 1 || tiny[0] != 3 {
+		t.Fatalf("sampleTail(4,8,1/100) = %v, want just the last index", tiny)
+	}
 }
 
 // TestSearchRecoversShiftBound: on the two-node network the searched

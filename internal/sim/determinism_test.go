@@ -56,6 +56,10 @@ type chatterProtocol struct {
 }
 
 func (p chatterProtocol) Name() string { return "chatter" }
+func (p chatterProtocol) CloneState(n Node) Node {
+	c := *n.(*chatterNode)
+	return &c
+}
 func (p chatterProtocol) NewNode(id int) Node {
 	return &chatterNode{id: id, period: p.period, mult: p.mult, relay: p.relay}
 }

@@ -53,6 +53,10 @@ type pingProtocol struct{ period rat.Rat }
 
 func (p pingProtocol) Name() string        { return "ping" }
 func (p pingProtocol) NewNode(id int) Node { return &pingNode{id: id, period: p.period} }
+func (p pingProtocol) CloneState(n Node) Node {
+	c := *n.(*pingNode)
+	return &c
+}
 
 func twoNodeConfig(t *testing.T, sched0, sched1 *clock.Schedule, adv Adversary, dur rat.Rat) Config {
 	t.Helper()
@@ -258,6 +262,10 @@ type pastTimerProtocol struct{}
 
 func (pastTimerProtocol) Name() string        { return "past-timer" }
 func (pastTimerProtocol) NewNode(id int) Node { return &pastTimerNode{} }
+func (pastTimerProtocol) CloneState(n Node) Node {
+	c := *n.(*pastTimerNode)
+	return &c
+}
 
 func TestPastTimerRejected(t *testing.T) {
 	net, _ := network.TwoNode(ri(1))
@@ -421,6 +429,10 @@ type introspectProtocol struct {
 
 func (p introspectProtocol) Name() string        { return "introspect" }
 func (p introspectProtocol) NewNode(id int) Node { return &introspectNode{t: p.t, wantN: p.n} }
+func (p introspectProtocol) CloneState(n Node) Node {
+	c := *n.(*introspectNode)
+	return &c
+}
 
 func TestRuntimeAccessors(t *testing.T) {
 	net, _ := network.Line(4)
@@ -445,8 +457,9 @@ func (negMultNode) OnMessage(*Runtime, int, Message) {}
 
 type negMultProtocol struct{}
 
-func (negMultProtocol) Name() string     { return "neg-mult" }
-func (negMultProtocol) NewNode(int) Node { return negMultNode{} }
+func (negMultProtocol) Name() string           { return "neg-mult" }
+func (negMultProtocol) NewNode(int) Node       { return negMultNode{} }
+func (negMultProtocol) CloneState(n Node) Node { return n }
 
 func TestNegativeMultRejected(t *testing.T) {
 	net, _ := network.TwoNode(ri(1))
@@ -472,8 +485,9 @@ func (badSendNode) OnMessage(*Runtime, int, Message) {}
 
 type badSendProtocol struct{}
 
-func (badSendProtocol) Name() string        { return "bad-send" }
-func (badSendProtocol) NewNode(id int) Node { return badSendNode{id: id} }
+func (badSendProtocol) Name() string           { return "bad-send" }
+func (badSendProtocol) NewNode(id int) Node    { return badSendNode{id: id} }
+func (badSendProtocol) CloneState(n Node) Node { return n }
 
 func TestSelfSendRejected(t *testing.T) {
 	net, _ := network.TwoNode(ri(1))
@@ -499,8 +513,9 @@ func (nilMsgNode) OnMessage(*Runtime, int, Message) {}
 
 type nilMsgProtocol struct{}
 
-func (nilMsgProtocol) Name() string     { return "nil-msg" }
-func (nilMsgProtocol) NewNode(int) Node { return nilMsgNode{} }
+func (nilMsgProtocol) Name() string           { return "nil-msg" }
+func (nilMsgProtocol) NewNode(int) Node       { return nilMsgNode{} }
+func (nilMsgProtocol) CloneState(n Node) Node { return n }
 
 func TestNilMessageRejected(t *testing.T) {
 	net, _ := network.TwoNode(ri(1))
@@ -531,8 +546,9 @@ func (farSenderNode) OnMessage(*Runtime, int, Message) {}
 
 type farSenderProtocol struct{}
 
-func (farSenderProtocol) Name() string        { return "far-sender" }
-func (farSenderProtocol) NewNode(id int) Node { return farSenderNode{id: id} }
+func (farSenderProtocol) Name() string           { return "far-sender" }
+func (farSenderProtocol) NewNode(id int) Node    { return farSenderNode{id: id} }
+func (farSenderProtocol) CloneState(n Node) Node { return n }
 
 func TestLongDistanceSend(t *testing.T) {
 	net, err := network.Line(5)

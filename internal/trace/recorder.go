@@ -44,6 +44,27 @@ func (r *Recorder) OnSend(rec MsgRecord) { r.ledger[rec.Key] = rec }
 // message's ledger entry with the realized receive time.
 func (r *Recorder) OnDeliver(rec MsgRecord) { r.ledger[rec.Key] = rec }
 
+// Clone returns an independent copy of the recorder's buffers. Attach the
+// clone to a forked engine to keep recording a branched run: the clone
+// carries the shared prefix, and the original keeps recording its own branch
+// untouched.
+func (r *Recorder) Clone() *Recorder {
+	c := &Recorder{
+		actions: append([]Action(nil), r.actions...),
+		perNode: make([][]int, len(r.perNode)),
+		ledger:  make(map[MsgKey]MsgRecord, len(r.ledger)),
+	}
+	for i, idxs := range r.perNode {
+		if idxs != nil {
+			c.perNode[i] = append([]int(nil), idxs...)
+		}
+	}
+	for k, v := range r.ledger {
+		c.ledger[k] = v
+	}
+	return c
+}
+
 // Actions returns the number of actions recorded so far.
 func (r *Recorder) Actions() int { return len(r.actions) }
 
