@@ -21,9 +21,13 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # Machine-readable experiment snapshots for trend tracking: the standard
-# suite plus the E13 -long scale sweep (diameter-64 cells, prefix-cache
-# steps-per-candidate savings). CI uploads these as per-commit artifacts;
-# BENCH_E13_long.json is also committed so headline metrics diff in review.
+# suite (which already embeds the E14 smoke table), the E13 -long scale
+# sweep (diameter-64 cells, prefix-cache steps-per-candidate savings), and
+# the E14 -long adaptive sweep (two-node d=8 + line cells: adaptive vs
+# scripted search vs certified Shift bound). CI uploads these as per-commit
+# artifacts; BENCH_E13_long.json and BENCH_E14_long.json are also committed
+# so headline metrics diff in review.
 bench-snapshot:
 	$(GO) run ./cmd/gcsbench -json > BENCH_suite.json
 	$(GO) run ./cmd/gcsbench -long -only E13 -json > BENCH_E13_long.json
+	$(GO) run ./cmd/gcsbench -long -only E14 -json > BENCH_E14_long.json

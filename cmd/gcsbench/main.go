@@ -1,13 +1,14 @@
 // Command gcsbench regenerates every experiment table of the reproduction
-// (E1–E11 plus the Figure 1 rendering, the E12 streaming scale sweep, and
-// the E13 worst-case adversary search). See DESIGN.md §4 for the experiment
-// index and EXPERIMENTS.md for the paper-vs-measured record.
+// (E1–E11 plus the Figure 1 rendering, the E12 streaming scale sweep, the
+// E13 worst-case adversary search, and the E14 adaptive-adversary
+// comparison). See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for the paper-vs-measured record.
 //
 // Usage:
 //
 //	gcsbench            # the standard suite (seconds)
 //	gcsbench -long      # extended sweeps (minutes; larger diameters)
-//	gcsbench -only E4   # one experiment (E1..E13)
+//	gcsbench -only E4   # one experiment (E1..E14)
 //	gcsbench -stream    # E12 only: online skew metrics on large lines
 //	gcsbench -json      # machine-readable tables (BENCH_*.json trend tracking)
 //
@@ -75,6 +76,7 @@ var suite = []experiment{
 	{"E10", runE10},
 	{"E12", runE12},
 	{"E13", runE13},
+	{"E14", runE14},
 }
 
 func run(long bool, only string, stream, jsonOut bool) (string, error) {
@@ -93,7 +95,7 @@ func run(long bool, only string, stream, jsonOut bool) (string, error) {
 			}
 		}
 		if !found {
-			return "", fmt.Errorf("unknown experiment %q (want E1..E13)", only)
+			return "", fmt.Errorf("unknown experiment %q (want E1..E14)", only)
 		}
 	}
 	protos := algorithms.All()
@@ -280,6 +282,24 @@ func runE13(protos []sim.Protocol, long bool) (result, error) {
 		}
 	}
 	_, table, err := experiments.E13SearchWorstCase(opt)
+	if err != nil {
+		return result{}, err
+	}
+	return result{tables: []*experiments.Table{table}}, nil
+}
+
+func runE14(protos []sim.Protocol, long bool) (result, error) {
+	opt, err := experiments.DefaultE14(protos)
+	if err != nil {
+		return result{}, err
+	}
+	if long {
+		opt, err = experiments.LongE14Cells(opt)
+		if err != nil {
+			return result{}, err
+		}
+	}
+	_, table, err := experiments.E14AdaptiveAdversary(opt)
 	if err != nil {
 		return result{}, err
 	}

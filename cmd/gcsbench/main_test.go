@@ -9,7 +9,7 @@ import (
 // TestSingleExperiments exercises the fast experiments end to end through
 // the CLI path. (E4 and the full suite are covered by the root benchmarks.)
 func TestSingleExperiments(t *testing.T) {
-	for _, id := range []string{"E1", "E3", "E5", "E13"} {
+	for _, id := range []string{"E1", "E3", "E5", "E13", "E14"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			out, err := run(false, id, false, false)
@@ -103,11 +103,11 @@ func TestJSONModeMultiTable(t *testing.T) {
 	}
 }
 
-// TestE13AllCellsOK: the acceptance bar for the search sweep — every
-// protocol × topology cell reports ok (searched ≥ baseline, and ≥ the
-// certified Shift bound on the two-node cells).
-func TestE13AllCellsOK(t *testing.T) {
-	out, err := run(false, "E13", false, false)
+// assertAllCellsOK runs one experiment through the CLI path and demands
+// that every table row ends in the "yes" ok column.
+func assertAllCellsOK(t *testing.T, id string) {
+	t.Helper()
+	out, err := run(false, id, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,41 @@ func TestE13AllCellsOK(t *testing.T) {
 			continue
 		}
 		if !strings.HasSuffix(strings.TrimRight(line, " "), "yes") {
-			t.Fatalf("E13 cell not ok: %q", line)
+			t.Fatalf("%s cell not ok: %q", id, line)
 		}
+	}
+}
+
+// TestE13AllCellsOK: the acceptance bar for the search sweep — every
+// protocol × topology cell reports ok (searched ≥ baseline, and ≥ the
+// certified Shift bound on the two-node cells).
+func TestE13AllCellsOK(t *testing.T) { assertAllCellsOK(t, "E13") }
+
+// TestE14AllCellsOK: the acceptance bar for the adaptive sweep — every
+// protocol × topology cell reports ok (the online scheduler at least
+// matches the Midpoint baseline, and the certified Shift bound on the
+// two-node smoke cell).
+func TestE14AllCellsOK(t *testing.T) { assertAllCellsOK(t, "E14") }
+
+// TestJSONModeE14: the adaptive table's derived columns survive the -json
+// path as valid JSON (its ratio formatting shares fmtFloat with E13, which
+// maps ±Inf/NaN to stable strings instead of invalid bare tokens).
+func TestJSONModeE14(t *testing.T) {
+	out, err := run(false, "E14", false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(out)) {
+		t.Fatalf("-json E14 output is not valid JSON:\n%s", out)
+	}
+	var tables []struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E14" || len(tables[0].Rows) == 0 {
+		t.Fatalf("expected a populated E14 table, got %+v", tables)
 	}
 }

@@ -20,6 +20,15 @@
 // selection, maximizing -objective. It reports the searched worst-case skew
 // next to the seed's baseline; base schedules are rate-1 (the search flips
 // rates itself, so -fastend does not apply).
+//
+// -adaptive replaces the fixed -adversary with the online §2 scheduler
+// (internal/lowerbound AdaptiveScheduler): node 0 is the fast source, the
+// node farthest from it the release front, and the adversary watches the
+// run it is delaying — holding views maximally stale until the observed
+// drift reaches -threshold (default: ρ·dur/3), then collapsing the
+// source→front delay. Works in both recorded and -stream mode:
+//
+//	gcssim -adaptive -proto max-gossip -topology line -n 9 -dur 50
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"gcs/internal/clock"
 	"gcs/internal/core"
 	"gcs/internal/engine"
+	"gcs/internal/lowerbound"
 	"gcs/internal/network"
 	"gcs/internal/plot"
 	"gcs/internal/rat"
@@ -61,17 +71,20 @@ func main() {
 		windows   = flag.Int("windows", 0, "windowed rate-mutation count (0 = disabled; with -search)")
 		tailStr   = flag.String("tail", "0", "restrict delay mutations to the final fraction of the decision log, e.g. 1/2 (0 = whole log; with -search)")
 		noPrefix  = flag.Bool("noprefix", false, "disable prefix-cached evaluation: re-simulate every candidate from scratch (with -search)")
+		adaptive  = flag.Bool("adaptive", false, "schedule with the online §2 adversary (adaptive scheduler) instead of -adversary")
+		threshStr = flag.String("threshold", "0", "adaptive release threshold: observed source-front hardware gap (0 = ρ·dur/3; with -adaptive)")
 	)
 	flag.Parse()
 	var err error
 	if *doSearch {
-		err = searchFlagConflicts(*stream, *profile)
+		err = searchFlagConflicts(*stream, *profile, *adaptive)
 		if err == nil {
 			err = runSearch(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed,
 				*objective, *rounds, *beam, *workers, *windows, *tailStr, *noPrefix, *chart)
 		}
 	} else {
-		err = run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd, *profile, *chart, *stream)
+		err = run(*protoName, *topology, *n, *durStr, *rhoStr, *advName, *seed, *fastEnd,
+			*profile, *chart, *stream, *adaptive, *threshStr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcssim:", err)
@@ -140,9 +153,20 @@ func buildAdversary(advName string, seed uint64) (sim.Adversary, error) {
 	}
 }
 
-func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed uint64, fastEnd, profile, chart, stream bool) error {
+func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed uint64, fastEnd, profile, chart, stream, adaptive bool, threshStr string) error {
 	if stream && chart {
 		return fmt.Errorf("-chart needs the recorded clocks; drop -chart or run without -stream")
+	}
+	if adaptive {
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "adversary" {
+				conflict = fmt.Errorf("-adaptive schedules with the online adversary; drop -adversary")
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
 	}
 	dur, err := rat.Parse(durStr)
 	if err != nil {
@@ -170,6 +194,14 @@ func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed
 	if err != nil {
 		return err
 	}
+	var sched *lowerbound.AdaptiveScheduler
+	if adaptive {
+		sched, err = buildAdaptive(net, dur, rho, threshStr)
+		if err != nil {
+			return err
+		}
+		adv, advName = sched, sched.String()
+	}
 
 	scheds := make([]*clock.Schedule, n)
 	for i := range scheds {
@@ -180,9 +212,38 @@ func run(protoName, topology string, n int, durStr, rhoStr, advName string, seed
 	}
 
 	if stream {
-		return runStream(net, scheds, adv, proto, dur, rho, protoName, advName, profile)
+		err = runStream(net, scheds, adv, proto, dur, rho, protoName, advName, profile)
+	} else {
+		err = runRecorded(net, scheds, adv, proto, dur, rho, protoName, advName, profile, chart)
 	}
-	return runRecorded(net, scheds, adv, proto, dur, rho, protoName, advName, profile, chart)
+	if err == nil && sched != nil {
+		if at, ok := sched.Released(); ok {
+			fmt.Printf("  adaptive release: source %d → front %d collapsed at t=%s\n", sched.Source(), sched.Front(), at)
+		} else {
+			fmt.Printf("  adaptive release: threshold never reached (views stayed maximally stale)\n")
+		}
+	}
+	return err
+}
+
+// buildAdaptive constructs the online §2 scheduler for the run: node 0 as
+// the fast source (pair it with -fastend, the default), the node farthest
+// from it as the release front.
+func buildAdaptive(net *network.Network, dur, rho rat.Rat, threshStr string) (*lowerbound.AdaptiveScheduler, error) {
+	threshold, err := rat.Parse(threshStr)
+	if err != nil {
+		return nil, fmt.Errorf("threshold: %w", err)
+	}
+	if threshold.IsZero() {
+		threshold = lowerbound.AutoThreshold(rho, dur)
+	}
+	front := 1 % net.N()
+	for j := 1; j < net.N(); j++ {
+		if net.Dist(0, j).Greater(net.Dist(0, front)) {
+			front = j
+		}
+	}
+	return lowerbound.NewAdaptiveScheduler(net, 0, front, threshold)
 }
 
 func header(protoName string, net *network.Network, dur, rho rat.Rat, advName, mode string) string {
@@ -194,12 +255,15 @@ func header(protoName string, net *network.Network, dur, rho rat.Rat, advName, m
 // — the same convention -chart/-stream enforce — instead of silently
 // ignoring them. (-fastend is additionally rejected only when set
 // explicitly: its default is true.)
-func searchFlagConflicts(stream, profile bool) error {
+func searchFlagConflicts(stream, profile, adaptive bool) error {
 	if stream {
 		return fmt.Errorf("-search runs its own engine fleet; drop -stream")
 	}
 	if profile {
 		return fmt.Errorf("-profile needs a single run's trackers; drop -profile or run without -search")
+	}
+	if adaptive {
+		return fmt.Errorf("-adaptive is a single online run, -search a scripted fleet; drop one of them")
 	}
 	var err error
 	flag.Visit(func(f *flag.Flag) {

@@ -22,7 +22,7 @@ func TestRunHappyPaths(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := run(tc.proto, tc.topology, tc.n, "12", "1/2", tc.adv, 3, true, true, !tc.stream, tc.stream); err != nil {
+			if err := run(tc.proto, tc.topology, tc.n, "12", "1/2", tc.adv, 3, true, true, !tc.stream, tc.stream, false, "0"); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -50,7 +50,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := run(tc.proto, tc.topology, tc.n, tc.dur, tc.rho, tc.advName, 1, false, false, tc.chart, tc.stream); err == nil {
+			if err := run(tc.proto, tc.topology, tc.n, tc.dur, tc.rho, tc.advName, 1, false, false, tc.chart, tc.stream, false, "0"); err == nil {
 				t.Fatal("expected error")
 			}
 		})
@@ -62,9 +62,47 @@ func TestRunErrors(t *testing.T) {
 // exercise both paths on the same configuration end to end.
 func TestStreamMatchesRecordedCLI(t *testing.T) {
 	for _, stream := range []bool{false, true} {
-		if err := run("gradient", "line", 9, "20", "1/2", "random", 7, true, false, false, stream); err != nil {
+		if err := run("gradient", "line", 9, "20", "1/2", "random", 7, true, false, false, stream, false, "0"); err != nil {
 			t.Fatalf("stream=%v: %v", stream, err)
 		}
+	}
+}
+
+// TestAdaptiveMode exercises the online-adversary path: recorded and
+// streamed, auto and explicit thresholds, across topologies.
+func TestAdaptiveMode(t *testing.T) {
+	cases := []struct {
+		name      string
+		proto     string
+		topology  string
+		n         int
+		threshold string
+		stream    bool
+	}{
+		{"recorded max-gossip line", "max-gossip", "line", 5, "0", false},
+		{"streamed gradient line", "gradient", "line", 5, "0", true},
+		{"explicit threshold ring", "max-flood", "ring", 5, "1/2", false},
+		{"two-node", "gradient", "line", 2, "0", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.proto, tc.topology, tc.n, "16", "1/2", "midpoint", 3,
+				true, false, false, tc.stream, true, tc.threshold); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAdaptiveModeErrors: a malformed threshold fails loudly, and -adaptive
+// cannot be combined with -search.
+func TestAdaptiveModeErrors(t *testing.T) {
+	if err := run("gradient", "line", 5, "16", "1/2", "midpoint", 3,
+		true, false, false, false, true, "x"); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	if err := searchFlagConflicts(false, false, true); err == nil {
+		t.Fatal("-search plus -adaptive accepted")
 	}
 }
 

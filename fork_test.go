@@ -180,6 +180,111 @@ func TestForkDeterminismMatrix(t *testing.T) {
 	}
 }
 
+// TestStatefulAdversaryForkMatrix: the fork-determinism matrix for stateful
+// adversaries — an adaptive adversary (the online §2 scheduler) driven on a
+// fork, and on the trunk after forking, must be byte-identical to two
+// independent end-to-end runs, across topologies × protocols. Fork clones
+// the adversary's state at the fork point (engine.StatefulAdversary), so
+// the trunk's trigger and the fork's trigger fire independently; sharing
+// state would desynchronize at least one branch from the fresh reference.
+func TestStatefulAdversaryForkMatrix(t *testing.T) {
+	dur := gcs.R(12)
+	rho := gcs.Frac(1, 2)
+	two, err := gcs.TwoNode(gcs.R(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := gcs.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []*gcs.Network{two, line} {
+		for _, proto := range gcs.AllProtocols() {
+			net, proto := net, proto
+			t.Run(fmt.Sprintf("%s/%s", net.Name(), proto.Name()), func(t *testing.T) {
+				// Source on the fast band so the adaptive trigger has drift to
+				// observe; a mid-run threshold so both branches cross it after
+				// the fork point.
+				scheds := gcs.ConstantSchedules(net.N(), gcs.R(1))
+				scheds[0] = gcs.ConstantClock(gcs.R(1).Add(rho.Div(gcs.R(2))))
+				threshold := gcs.AutoThreshold(rho, dur)
+				build := func() (*gcs.Engine, *gcs.Recorder, *gcs.AdaptiveScheduler) {
+					t.Helper()
+					adv, err := gcs.NewAdaptiveScheduler(net, 0, net.N()-1, threshold)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rec := gcs.NewRecorder(net.N())
+					eng, err := gcs.NewEngine(net,
+						gcs.WithProtocol(proto),
+						gcs.WithAdversary(adv),
+						gcs.WithSchedules(scheds),
+						gcs.WithRho(rho),
+						gcs.WithObservers(rec),
+					)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return eng, rec, adv
+				}
+				finish := func(eng *gcs.Engine, rec *gcs.Recorder) *gcs.Execution {
+					t.Helper()
+					if err := eng.RunUntil(dur); err != nil {
+						t.Fatal(err)
+					}
+					exec, err := eng.Execution(rec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return exec
+				}
+
+				// Two independent end-to-end runs: the reference, twice (the
+				// adversary is deterministic in its observations).
+				engA, recA, _ := build()
+				execA := finish(engA, recA)
+				engB, recB, _ := build()
+				execB := finish(engB, recB)
+				execEqual(t, "independent runs", execA, execB)
+
+				// Trunk to the half-way point, fork, finish both branches.
+				trunk, trec, tadv := build()
+				for trunk.Steps() < engA.Steps()/2 {
+					ok, err := trunk.Step()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+				}
+				fork, err := trunk.Fork()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fadv, ok := fork.Adversary().(*gcs.AdaptiveScheduler)
+				if !ok || fadv == tadv {
+					t.Fatalf("fork adversary %T shares the trunk's state", fork.Adversary())
+				}
+				frec := trec.Clone()
+				fork.Observe(frec)
+				execFork := finish(fork, frec)
+				execEqual(t, "fork vs independent run", execA, execFork)
+				execTrunk := finish(trunk, trec)
+				execEqual(t, "trunk vs independent run", execA, execTrunk)
+
+				// Both branches observed the same (byte-identical) execution,
+				// so their triggers must agree.
+				tAt, tOK := tadv.Released()
+				fAt, fOK := fadv.Released()
+				if tOK != fOK || (tOK && !tAt.Equal(fAt)) {
+					t.Fatalf("trunk release (%s, %v) differs from fork release (%s, %v)", tAt, tOK, fAt, fOK)
+				}
+			})
+		}
+	}
+}
+
 // TestForkDivergence: a fork rebound to a different adversary diverges from
 // the trunk without disturbing it — the branching the prefix-cached search
 // performs — and matches a fresh run under a script that switches delays at

@@ -56,6 +56,14 @@
 // the paper's constructions, and the engine of the prefix-cached worst-case
 // search (see Search).
 //
+// Adversaries may be adaptive: one that implements Observer is fed the
+// event stream of the run it is scheduling, and one that implements
+// StatefulAdversary (CloneAdversary, mirroring Protocol.CloneState) is
+// cloned by Fork so branches never share decision state. AdaptiveScheduler
+// — the §2 counterexample scheduler in general online form — is the first
+// such strategy; the E14 experiment compares it against the scripted beam
+// search and the certified bounds.
+//
 // The batch API records everything and remains available — Run builds an
 // Engine with a trace.Recorder attached and returns the completed
 // *Execution for post-hoc analysis, which the lower-bound constructions
@@ -167,6 +175,12 @@ type (
 	// CheckedAdversary is an Adversary whose decision can fail with a
 	// precise error (e.g. an exhausted script with no fallback).
 	CheckedAdversary = sim.CheckedAdversary
+	// StatefulAdversary is an Adversary carrying mutable decision state
+	// (adaptive strategies): CloneAdversary mirrors Protocol.CloneState, so
+	// Engine.Fork can branch a run without sharing adversary state. An
+	// adversary that also implements Observer is attached to the event
+	// stream of every engine it is bound to, automatically.
+	StatefulAdversary = engine.StatefulAdversary
 	// FractionAdversary delays every message by a fixed fraction of the
 	// bound.
 	FractionAdversary = sim.FractionAdversary
@@ -235,6 +249,11 @@ func Run(cfg Config) (*Execution, error) { return sim.Run(cfg) }
 
 // Midpoint returns the delay = d/2 adversary used by the constructions.
 func Midpoint() FractionAdversary { return sim.Midpoint() }
+
+// CloneAdversaryState returns an independent copy of an adversary's mutable
+// decision state (the adversary itself when stateless); ok is false for an
+// adversary that observes the run without being cloneable.
+var CloneAdversaryState = engine.CloneAdversaryState
 
 // Indistinguishability and side-condition checkers (§3 of the paper).
 var (
@@ -369,6 +388,15 @@ type (
 	// CounterexampleInput / CounterexampleResult are the §2 scenario.
 	CounterexampleInput  = lowerbound.CounterexampleInput
 	CounterexampleResult = lowerbound.CounterexampleResult
+	// AdaptiveScheduler is the §2 counterexample scheduler in general online
+	// form: a stateful adversary that watches the run it is delaying and
+	// releases the source→front edge when the observed drift reaches its
+	// threshold. The first adaptive strategy of the portfolio.
+	AdaptiveScheduler = lowerbound.AdaptiveScheduler
+	// AdaptiveCounterexampleInput / AdaptiveCounterexampleResult are the §2
+	// scenario driven by the online scheduler instead of a scripted switch.
+	AdaptiveCounterexampleInput  = lowerbound.AdaptiveCounterexampleInput
+	AdaptiveCounterexampleResult = lowerbound.AdaptiveCounterexampleResult
 	// AdversarySeed is a construction's adversary (delay script + surgery
 	// schedules) packaged as a search seed; ShiftResult, AddSkewResult, and
 	// MainTheoremResult all export one via their Seed methods.
@@ -383,6 +411,9 @@ var (
 	BoundedIncrease         = lowerbound.BoundedIncrease
 	MainTheorem             = lowerbound.MainTheorem
 	Counterexample          = lowerbound.Counterexample
+	AdaptiveCounterexample  = lowerbound.AdaptiveCounterexample
+	NewAdaptiveScheduler    = lowerbound.NewAdaptiveScheduler
+	AutoThreshold           = lowerbound.AutoThreshold
 	RenderFigure1           = lowerbound.RenderFigure1
 	RenderRounds            = lowerbound.RenderRounds
 )

@@ -199,12 +199,22 @@ func fnv1a(a, b uint64) uint64 {
 // ModifyWindow returns a copy whose rates within [from, to) are transformed
 // by fn, with the original rates restored at to. This implements the Bounded
 // Increase lemma's surgery (adding ρ/4 to node i's rate during [t0−τ, t0]).
+//
+// A zero-width window (from == to) is an explicit no-op: the half-open
+// window [t, t) contains no time, so the unmodified schedule is returned
+// (schedules are immutable, so the receiver itself is the copy). Searched
+// window boundaries that collapse to a point — e.g. a rate-surgery window
+// generated by internal/search — therefore degrade gracefully instead of
+// aborting the caller. An inverted window (from > to) remains an error.
 func (s *Schedule) ModifyWindow(from, to rat.Rat, fn func(rat.Rat) rat.Rat) (*Schedule, error) {
 	if from.Sign() < 0 {
 		return nil, fmt.Errorf("clock: ModifyWindow from negative time %s", from)
 	}
+	if from.Equal(to) {
+		return s, nil
+	}
 	if !from.Less(to) {
-		return nil, fmt.Errorf("clock: ModifyWindow empty window [%s, %s)", from, to)
+		return nil, fmt.Errorf("clock: ModifyWindow inverted window [%s, %s)", from, to)
 	}
 	// Candidate boundaries: every existing segment start plus the window
 	// endpoints. At each boundary the new rate is fully determined, and

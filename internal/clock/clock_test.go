@@ -202,11 +202,28 @@ func TestModifyWindow(t *testing.T) {
 
 func TestModifyWindowErrors(t *testing.T) {
 	s := Constant(ri(1))
-	if _, err := s.ModifyWindow(ri(5), ri(5), func(r rat.Rat) rat.Rat { return r }); err == nil {
-		t.Error("empty window should error")
+	if _, err := s.ModifyWindow(ri(7), ri(5), func(r rat.Rat) rat.Rat { return r }); err == nil {
+		t.Error("inverted window should error")
 	}
 	if _, err := s.ModifyWindow(ri(-1), ri(5), func(r rat.Rat) rat.Rat { return r }); err == nil {
 		t.Error("negative start should error")
+	}
+}
+
+// TestModifyWindowZeroWidthNoOp: [t, t) contains no time, so a window that
+// collapses to a point returns the schedule unmodified instead of erroring —
+// a searched rate-surgery window degenerating to a point must never abort
+// the whole search.
+func TestModifyWindowZeroWidthNoOp(t *testing.T) {
+	s := Constant(ri(1))
+	double := func(r rat.Rat) rat.Rat { return r.Add(r) }
+	mod, err := s.ModifyWindow(ri(5), ri(5), double)
+	if err != nil {
+		t.Fatalf("zero-width window errored: %v", err)
+	}
+	segs := mod.Rates()
+	if len(segs) != 1 || !segs[0].Rate.Equal(ri(1)) {
+		t.Fatalf("zero-width window modified the schedule: %+v", segs)
 	}
 }
 

@@ -55,7 +55,27 @@ type ScriptedAdversary struct {
 	Fallback Adversary
 }
 
-var _ CheckedAdversary = ScriptedAdversary{}
+var (
+	_ CheckedAdversary  = ScriptedAdversary{}
+	_ StatefulAdversary = ScriptedAdversary{}
+)
+
+// CloneAdversary implements StatefulAdversary transparently: the script map
+// is never mutated during replay, so the clone shares it, while a stateful
+// Fallback tail is cloned so two branches replaying the same script never
+// share tail state. When the Fallback is stateful but not cloneable the
+// wrapper cannot be cloned either — CloneAdversary returns nil, which
+// CloneAdversaryState and Engine.Fork report as "not cloneable".
+func (a ScriptedAdversary) CloneAdversary() Adversary {
+	if a.Fallback == nil {
+		return a
+	}
+	tail, ok := CloneAdversaryState(a.Fallback)
+	if !ok {
+		return nil
+	}
+	return ScriptedAdversary{Delays: a.Delays, Fallback: tail}
+}
 
 // Delay implements Adversary. It panics on a message outside the script when
 // no Fallback is set; inside an Engine the CheckedAdversary path turns that

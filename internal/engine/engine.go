@@ -112,6 +112,15 @@ type Engine struct {
 	clockObs   []ClockObserver
 	horizonObs []HorizonObserver
 
+	// Adversary feedback hooks (see stateful.go): when the adversary
+	// observes the run, it is notified of each event before the regular
+	// observers, through these dedicated fields rather than the observer
+	// lists, so SetAdversary can rebind them without disturbing attached
+	// metrics.
+	advObs        Observer
+	advClockObs   ClockObserver
+	advHorizonObs HorizonObserver
+
 	queue    eventQueue
 	seq      uint64
 	pairSeq  map[[2]int]uint64
@@ -174,6 +183,7 @@ func New(net *network.Network, opts ...Option) (*Engine, error) {
 	if e.adv == nil {
 		e.adv = Midpoint()
 	}
+	e.bindAdversary(e.adv)
 	if e.proto == nil {
 		return nil, errors.New("engine: nil protocol (use WithProtocol)")
 	}
@@ -229,6 +239,13 @@ func (e *Engine) Net() *network.Network { return e.net }
 
 // Schedules returns the per-node hardware schedules (shared, immutable).
 func (e *Engine) Schedules() []*clock.Schedule { return e.scheds }
+
+// Adversary returns the delay adversary currently bound to the engine. For
+// a fork of an engine with a stateful adversary this is the fork's own
+// clone, carrying the decision state accumulated up to the fork point —
+// which is how the prefix-cached search rebinds a fork's script while
+// keeping the tail adversary's state.
+func (e *Engine) Adversary() Adversary { return e.adv }
 
 // Now returns the real time of the last dispatched event.
 func (e *Engine) Now() rat.Rat { return e.now }
@@ -297,6 +314,9 @@ func (e *Engine) RunUntil(t rat.Rat) error {
 		}
 	}
 	e.horizon = t
+	if e.advHorizonObs != nil {
+		e.advHorizonObs.OnHorizon(t)
+	}
 	for _, h := range e.horizonObs {
 		h.OnHorizon(t)
 	}
@@ -323,6 +343,9 @@ func (e *Engine) fail(err error) {
 }
 
 func (e *Engine) emitAction(a trace.Action) {
+	if e.advObs != nil {
+		e.advObs.OnAction(a)
+	}
 	for _, o := range e.obs {
 		o.OnAction(a)
 	}
@@ -350,6 +373,9 @@ func (e *Engine) dispatch(ev *event) {
 			Delay:     ev.delay,
 			Payload:   payload,
 			Delivered: true,
+		}
+		if e.advObs != nil {
+			e.advObs.OnDeliver(rec)
 		}
 		for _, o := range e.obs {
 			o.OnDeliver(rec)

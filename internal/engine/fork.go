@@ -17,15 +17,19 @@ import (
 // message sequence counters, the scheduling sequence, each node's Runtime
 // (hardware reading, logical-clock declarations), and each node automaton
 // via the Protocol's CloneState contract. The immutable environment — the
-// network, the hardware schedules, ρ — is shared, and the adversary is
-// inherited by reference. Message payloads queued in flight are shared too:
-// payloads must be value-determined and never mutated after Send, which the
-// Message contract already demands.
+// network, the hardware schedules, ρ — is shared. A stateless adversary is
+// inherited by reference; a StatefulAdversary is cloned via CloneAdversary
+// so trunk and fork decide from independent state, and an adversary that
+// observes the run without being cloneable fails the fork with a precise
+// error (sharing it would silently corrupt both branches). Message payloads
+// queued in flight are shared too: payloads must be value-determined and
+// never mutated after Send, which the Message contract already demands.
 //
-// The fork starts with no observers. To continue online metrics across the
-// fork point, Clone the trackers that watched the prefix (SkewTracker.Clone,
-// DecisionLog.Clone, Recorder.Clone, ...) and attach the clones with Observe
-// before driving the fork.
+// The fork starts with no observers (the cloned adversary's own feedback
+// hook rebinds automatically — it is not part of the observer lists). To
+// continue online metrics across the fork point, Clone the trackers that
+// watched the prefix (SkewTracker.Clone, DecisionLog.Clone, Recorder.Clone,
+// ...) and attach the clones with Observe before driving the fork.
 //
 // Fork must be called between steps, never from inside an observer or node
 // callback, and fails on an engine already poisoned by an error.
@@ -33,11 +37,14 @@ func (e *Engine) Fork() (*Engine, error) {
 	if e.err != nil {
 		return nil, fmt.Errorf("engine: fork of failed engine: %w", e.err)
 	}
+	adv, ok := CloneAdversaryState(e.adv)
+	if !ok {
+		return nil, fmt.Errorf("engine: fork with stateful adversary %T that is not cloneable (it — or, for a scripted wrapper, its Fallback tail — observes the run without a usable CloneAdversary; implement StatefulAdversary on the value that owns the state)", e.adv)
+	}
 	n := e.net.N()
 	f := &Engine{
 		net:     e.net,
 		scheds:  e.scheds,
-		adv:     e.adv,
 		proto:   e.proto,
 		rho:     e.rho,
 		seq:     e.seq,
@@ -45,6 +52,7 @@ func (e *Engine) Fork() (*Engine, error) {
 		horizon: e.horizon,
 		steps:   e.steps,
 	}
+	f.bindAdversary(adv)
 	f.queue.items = make([]*event, len(e.queue.items))
 	for i, ev := range e.queue.items {
 		c := *ev
@@ -78,10 +86,17 @@ func (e *Engine) Fork() (*Engine, error) {
 // the new adversary. Combined with Fork this branches a run: fork the shared
 // prefix, hand each fork its own adversary, and drive the suffixes
 // independently.
+//
+// An adversary with observer feedback hooks is rebound to the event stream
+// from this point on (it sees nothing retroactively); the previous
+// adversary's hooks are detached. Like NewEngine, SetAdversary performs no
+// up-front decision validation — a CheckedAdversary that cannot decide a
+// later message (e.g. a ScriptedAdversary with an exhausted script and nil
+// Fallback) fails the run at that send with its precise DelayChecked error.
 func (e *Engine) SetAdversary(a Adversary) error {
 	if a == nil {
 		return errors.New("engine: nil adversary")
 	}
-	e.adv = a
+	e.bindAdversary(a)
 	return nil
 }

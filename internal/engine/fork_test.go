@@ -86,6 +86,42 @@ func TestForkErrors(t *testing.T) {
 	}
 }
 
+// TestSetAdversaryCheckedOnFork: a ScriptedAdversary with a nil Fallback
+// bound to a fork via SetAdversary must fail the run through the
+// CheckedAdversary path with the precise DelayChecked error — exactly as if
+// it had been bound at construction — never by panicking inside the event
+// loop. (SetAdversary performs no up-front validation; the check is the
+// per-send CheckedAdversary dispatch, which must survive rebinding.)
+func TestSetAdversaryCheckedOnFork(t *testing.T) {
+	trunk := newTestEngine(t, 3, tickProtocol{period: ri(1)})
+	if err := trunk.RunUntil(ri(2)); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.SetAdversary(ScriptedAdversary{}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("exhausted script on a fork panicked instead of failing the run: %v", r)
+		}
+	}()
+	err = fork.RunUntil(ri(6))
+	if err == nil || !strings.Contains(err.Error(), "no Fallback") {
+		t.Fatalf("fork with scripted nil-fallback adversary: %v, want the DelayChecked script-exhaustion error", err)
+	}
+	if fork.Err() == nil {
+		t.Fatal("run not poisoned by the scripted-adversary error")
+	}
+	// The trunk is unaffected and still runs under its own adversary.
+	if err := trunk.RunUntil(ri(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // nilCloneProtocol violates the CloneState contract.
 type nilCloneProtocol struct{ silentProtocol }
 

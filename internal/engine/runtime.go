@@ -62,6 +62,9 @@ func (rt *Runtime) SetLogical(value, mult rat.Rat) {
 	}
 	d := trace.Decl{Node: rt.id, Real: e.now, HW0: rt.hwNow, Value: value, Mult: mult}
 	rt.decls = append(rt.decls, d)
+	if e.advClockObs != nil {
+		e.advClockObs.OnDeclare(d)
+	}
 	for _, o := range e.clockObs {
 		o.OnDeclare(d)
 	}
@@ -105,6 +108,9 @@ func (rt *Runtime) Send(to int, msg Message) {
 		SendReal: e.now,
 		Delay:    delay,
 		Payload:  payload,
+	}
+	if e.advObs != nil {
+		e.advObs.OnSend(rec)
 	}
 	for _, o := range e.obs {
 		o.OnSend(rec)

@@ -1,0 +1,101 @@
+package engine
+
+// Stateful (adaptive) adversaries.
+//
+// The base Adversary contract is a pure function of its arguments, which is
+// what lets the engine hand one instance to any number of runs. Online
+// strategies — the paper's §2 counterexample scheduler reacts to the
+// execution it is scheduling — need two extensions:
+//
+//   - feedback: an adversary that also implements Observer (and optionally
+//     ClockObserver / HorizonObserver) is attached to the event stream of
+//     every engine it is bound to, automatically, by New, Fork, and
+//     SetAdversary. Its Delay decisions may then depend on everything it has
+//     observed so far. A ScriptedAdversary is transparent here: the feedback
+//     reaches its Fallback tail.
+//
+//   - forking: an adversary with mutable state must not be shared between a
+//     trunk and its forks (their observation streams diverge, so shared
+//     state would silently corrupt both branches). StatefulAdversary
+//     declares the clone operation, mirroring Protocol.CloneState; Fork
+//     clones the adversary at the fork point and refuses — with a precise
+//     error — to fork an observing adversary that cannot be cloned.
+
+// StatefulAdversary is an optional Adversary extension for adversaries that
+// carry mutable decision state (typically accumulated via observer
+// feedback). It mirrors the Protocol.CloneState contract: Engine.Fork calls
+// CloneAdversary so the trunk and the fork continue with independent state.
+type StatefulAdversary interface {
+	Adversary
+	// CloneAdversary returns an independent copy carrying all mutable state:
+	// after the call, driving the clone and the original against identical
+	// event streams must produce identical decisions, and mutating one must
+	// never affect the other. A wrapper whose inner adversary is stateful
+	// but not cloneable may return nil to report that no clone exists.
+	CloneAdversary() Adversary
+}
+
+// CloneAdversaryState returns an independent copy of adv's mutable decision
+// state: CloneAdversary's result for a StatefulAdversary, adv itself for a
+// stateless adversary (sharing is safe — there is no state). ok is false
+// when adv is stateful but not cloneable: it observes the run (implements
+// any of the feedback interfaces — Observer, ClockObserver,
+// HorizonObserver) without implementing StatefulAdversary, or its
+// CloneAdversary returned nil. Fork and the prefix-cached search use this
+// to decide between cloning and refusing / degrading.
+func CloneAdversaryState(adv Adversary) (Adversary, bool) {
+	if sa, ok := adv.(StatefulAdversary); ok {
+		c := sa.CloneAdversary()
+		return c, c != nil
+	}
+	if adversaryObserves(adv) {
+		return nil, false
+	}
+	return adv, true
+}
+
+// feedbackTarget resolves the value whose observer interfaces receive an
+// engine's feedback: the adversary itself, or the Fallback tail for a
+// ScriptedAdversary — in value or pointer form, since both satisfy the
+// Adversary interface (the script wrapper is delay bookkeeping, not state —
+// feedback must reach the tail that owns the state). nil when there is no
+// target (a scripted adversary with no tail).
+func feedbackTarget(adv Adversary) any {
+	var tail Adversary
+	switch sc := adv.(type) {
+	case ScriptedAdversary:
+		tail = sc.Fallback
+	case *ScriptedAdversary:
+		tail = sc.Fallback
+	default:
+		return adv
+	}
+	if tail == nil {
+		return nil
+	}
+	return feedbackTarget(tail)
+}
+
+// adversaryObserves reports whether the adversary (or its tail) subscribes
+// to any of the engine's feedback interfaces — and therefore accumulates
+// observation state.
+func adversaryObserves(adv Adversary) bool {
+	switch feedbackTarget(adv).(type) {
+	case Observer, ClockObserver, HorizonObserver:
+		return true
+	}
+	return false
+}
+
+// bindAdversary points the engine at adv and wires its feedback hooks —
+// each observer interface resolved independently, so an adversary
+// implementing only ClockObserver or HorizonObserver still hears its
+// stream. The hooks are kept out of the regular observer lists so
+// SetAdversary can replace them without disturbing attached metrics.
+func (e *Engine) bindAdversary(adv Adversary) {
+	e.adv = adv
+	t := feedbackTarget(adv)
+	e.advObs, _ = t.(Observer)
+	e.advClockObs, _ = t.(ClockObserver)
+	e.advHorizonObs, _ = t.(HorizonObserver)
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"gcs/internal/clock"
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// countingAdversary is a minimal adaptive adversary: it observes the run and
+// delays each message by 0 until it has seen Trigger dispatched events, then
+// by the full bound. Cloneable.
+type countingAdversary struct {
+	trigger int
+	seen    int
+}
+
+func (a *countingAdversary) Delay(_, _ int, _ uint64, _ rat.Rat, bound rat.Rat) rat.Rat {
+	if a.seen >= a.trigger {
+		return bound
+	}
+	return rat.Rat{}
+}
+
+func (a *countingAdversary) OnAction(act trace.Action) {
+	if act.Kind != trace.KindSend {
+		a.seen++
+	}
+}
+func (a *countingAdversary) OnSend(trace.MsgRecord)    {}
+func (a *countingAdversary) OnDeliver(trace.MsgRecord) {}
+
+func (a *countingAdversary) CloneAdversary() Adversary {
+	c := *a
+	return &c
+}
+
+// observingAdversary is stateful (it watches the run) but not cloneable: no
+// CloneAdversary method.
+type observingAdversary struct{ seen int }
+
+func (a *observingAdversary) Delay(_, _ int, _ uint64, _ rat.Rat, bound rat.Rat) rat.Rat {
+	return bound
+}
+func (a *observingAdversary) OnAction(trace.Action)     { a.seen++ }
+func (a *observingAdversary) OnSend(trace.MsgRecord)    {}
+func (a *observingAdversary) OnDeliver(trace.MsgRecord) {}
+
+// clockOnlyObserving subscribes to declarations but cannot be cloned: it
+// must classify as stateful-not-cloneable like any other observing
+// adversary.
+type clockOnlyObserving struct{}
+
+func (clockOnlyObserving) Delay(_, _ int, _ uint64, _ rat.Rat, bound rat.Rat) rat.Rat {
+	return bound
+}
+func (clockOnlyObserving) OnDeclare(trace.Decl) {}
+
+// TestCloneAdversaryState: the classification table — stateless shared,
+// stateful cloned, observing-without-clone refused, and ScriptedAdversary
+// transparent over each.
+func TestCloneAdversaryState(t *testing.T) {
+	if c, ok := CloneAdversaryState(Midpoint()); !ok || c == nil {
+		t.Fatalf("stateless adversary not shareable: %v %v", c, ok)
+	}
+	counting := &countingAdversary{trigger: 3}
+	c, ok := CloneAdversaryState(counting)
+	if !ok {
+		t.Fatal("cloneable stateful adversary reported not cloneable")
+	}
+	if c.(*countingAdversary) == counting {
+		t.Fatal("clone is the same instance")
+	}
+	if _, ok := CloneAdversaryState(&observingAdversary{}); ok {
+		t.Fatal("observing adversary without CloneAdversary reported cloneable")
+	}
+	if _, ok := CloneAdversaryState(clockOnlyObserving{}); ok {
+		t.Fatal("ClockObserver-only adversary without CloneAdversary reported cloneable")
+	}
+
+	// Scripted wrappers delegate to the tail.
+	if _, ok := CloneAdversaryState(ScriptedAdversary{Fallback: Midpoint()}); !ok {
+		t.Fatal("scripted over stateless tail not cloneable")
+	}
+	sc, ok := CloneAdversaryState(ScriptedAdversary{Fallback: counting})
+	if !ok {
+		t.Fatal("scripted over cloneable tail not cloneable")
+	}
+	if sc.(ScriptedAdversary).Fallback.(*countingAdversary) == counting {
+		t.Fatal("scripted clone shares its tail state")
+	}
+	if _, ok := CloneAdversaryState(ScriptedAdversary{Fallback: &observingAdversary{}}); ok {
+		t.Fatal("scripted over non-cloneable tail reported cloneable")
+	}
+}
+
+// TestAdversaryFeedback: an observing adversary sees exactly the event
+// stream a regular observer sees, including through a Scripted wrapper.
+func TestAdversaryFeedback(t *testing.T) {
+	adv := &countingAdversary{trigger: 1 << 30}
+	var regular int
+	eng := newTestEngine(t, 3, tickProtocol{period: ri(1)},
+		WithAdversary(ScriptedAdversary{Fallback: adv}),
+		WithObservers(Funcs{Action: func(a trace.Action) {
+			if a.Kind != trace.KindSend {
+				regular++
+			}
+		}}),
+	)
+	if err := eng.RunUntil(ri(5)); err != nil {
+		t.Fatal(err)
+	}
+	if adv.seen == 0 || adv.seen != regular {
+		t.Fatalf("adversary feedback saw %d events, regular observer %d", adv.seen, regular)
+	}
+
+	// The pointer form of the wrapper unwraps identically: feedback still
+	// reaches the tail.
+	ptrTail := &countingAdversary{trigger: 1 << 30}
+	ptrEng := newTestEngine(t, 3, tickProtocol{period: ri(1)},
+		WithAdversary(&ScriptedAdversary{Fallback: ptrTail}))
+	if err := ptrEng.RunUntil(ri(5)); err != nil {
+		t.Fatal(err)
+	}
+	if ptrTail.seen != adv.seen {
+		t.Fatalf("pointer-wrapped tail saw %d events, value-wrapped %d", ptrTail.seen, adv.seen)
+	}
+}
+
+// declWatcherAdversary subscribes only to the clock-declaration stream: no
+// Observer, just ClockObserver. Feedback must still reach it.
+type declWatcherAdversary struct{ decls int }
+
+func (a *declWatcherAdversary) Delay(_, _ int, _ uint64, _ rat.Rat, bound rat.Rat) rat.Rat {
+	return bound
+}
+func (a *declWatcherAdversary) OnDeclare(trace.Decl) { a.decls++ }
+func (a *declWatcherAdversary) CloneAdversary() Adversary {
+	c := *a
+	return &c
+}
+
+// TestClockOnlyAdversaryFeedback: an adversary implementing only
+// ClockObserver (not the three-method Observer) still receives declaration
+// feedback — each hook is resolved independently — and is classified as
+// stateful.
+func TestClockOnlyAdversaryFeedback(t *testing.T) {
+	adv := &declWatcherAdversary{}
+	if _, ok := CloneAdversaryState(adv); !ok {
+		t.Fatal("clock-only stateful adversary with CloneAdversary reported not cloneable")
+	}
+	// Node 0 runs fast so its gossiped readings exceed the successors'
+	// logical clocks and force SetLogical declarations.
+	scheds := func() []*clock.Schedule {
+		return []*clock.Schedule{
+			clock.Constant(rf(3, 2)), clock.Constant(ri(1)), clock.Constant(ri(1)),
+		}
+	}
+	eng := newTestEngine(t, 3, tickProtocol{period: ri(1)},
+		WithAdversary(adv), WithSchedules(scheds()))
+	if err := eng.RunUntil(ri(8)); err != nil {
+		t.Fatal(err)
+	}
+	if adv.decls == 0 {
+		t.Fatal("ClockObserver-only adversary received no declaration feedback")
+	}
+	// Wrapped in a script, the declarations still reach the tail.
+	tail := &declWatcherAdversary{}
+	wrapped := newTestEngine(t, 3, tickProtocol{period: ri(1)},
+		WithAdversary(ScriptedAdversary{Fallback: tail}), WithSchedules(scheds()))
+	if err := wrapped.RunUntil(ri(8)); err != nil {
+		t.Fatal(err)
+	}
+	if tail.decls != adv.decls {
+		t.Fatalf("wrapped clock-only tail saw %d declarations, bare adversary %d", tail.decls, adv.decls)
+	}
+}
+
+// TestForkClonesStatefulAdversary: after a fork, trunk and fork adversaries
+// evolve independently, and the fork's behavior matches a fresh run (same
+// observations ⇒ same decisions).
+func TestForkClonesStatefulAdversary(t *testing.T) {
+	build := func() (*Engine, *countingAdversary) {
+		adv := &countingAdversary{trigger: 5}
+		return newTestEngine(t, 3, tickProtocol{period: ri(1)}, WithAdversary(adv)), adv
+	}
+	fresh, freshAdv := build()
+	if err := fresh.RunUntil(ri(6)); err != nil {
+		t.Fatal(err)
+	}
+
+	trunk, trunkAdv := build()
+	for trunk.Steps() < fresh.Steps()/2 {
+		if ok, err := trunk.Step(); err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+	seenAtFork := trunkAdv.seen
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkAdv, ok := fork.Adversary().(*countingAdversary)
+	if !ok || forkAdv == trunkAdv {
+		t.Fatalf("fork adversary %T shares trunk state", fork.Adversary())
+	}
+	if forkAdv.seen != seenAtFork {
+		t.Fatalf("fork adversary state %d, want the trunk's fork-point state %d", forkAdv.seen, seenAtFork)
+	}
+	if err := fork.RunUntil(ri(6)); err != nil {
+		t.Fatal(err)
+	}
+	if trunkAdv.seen != seenAtFork {
+		t.Fatalf("driving the fork mutated the trunk adversary: %d → %d", seenAtFork, trunkAdv.seen)
+	}
+	if fork.Steps() != fresh.Steps() || forkAdv.seen != freshAdv.seen {
+		t.Fatalf("fork steps=%d seen=%d, fresh steps=%d seen=%d",
+			fork.Steps(), forkAdv.seen, fresh.Steps(), freshAdv.seen)
+	}
+}
+
+// TestForkRefusesNonCloneableStatefulAdversary: forking with an observing,
+// non-cloneable adversary fails loudly instead of silently sharing state.
+func TestForkRefusesNonCloneableStatefulAdversary(t *testing.T) {
+	eng := newTestEngine(t, 2, silentProtocol{}, WithAdversary(&observingAdversary{}))
+	if _, err := eng.Fork(); err == nil || !strings.Contains(err.Error(), "not cloneable") {
+		t.Fatalf("fork with non-cloneable stateful adversary: %v", err)
+	}
+	// The same tail hidden behind a Scripted wrapper is equally refused.
+	wrapped := newTestEngine(t, 2, silentProtocol{},
+		WithAdversary(ScriptedAdversary{Fallback: &observingAdversary{}}))
+	if _, err := wrapped.Fork(); err == nil || !strings.Contains(err.Error(), "not cloneable") {
+		t.Fatalf("fork with wrapped non-cloneable adversary: %v", err)
+	}
+}
+
+// TestSetAdversaryRebindsFeedback: after SetAdversary the new adversary's
+// feedback hook is live and the old one is detached.
+func TestSetAdversaryRebindsFeedback(t *testing.T) {
+	first := &countingAdversary{trigger: 1 << 30}
+	eng := newTestEngine(t, 3, tickProtocol{period: ri(1)}, WithAdversary(first))
+	if err := eng.RunUntil(ri(3)); err != nil {
+		t.Fatal(err)
+	}
+	seen := first.seen
+	if seen == 0 {
+		t.Fatal("first adversary observed nothing")
+	}
+	second := &countingAdversary{trigger: 1 << 30}
+	if err := eng.SetAdversary(second); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(ri(6)); err != nil {
+		t.Fatal(err)
+	}
+	if first.seen != seen {
+		t.Fatalf("detached adversary kept observing: %d → %d", seen, first.seen)
+	}
+	if second.seen == 0 {
+		t.Fatal("rebound adversary observed nothing")
+	}
+}

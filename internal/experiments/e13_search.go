@@ -242,8 +242,8 @@ func E13SearchWorstCase(opt E13Options) ([]E13Row, *Table, error) {
 		table.Rows = append(table.Rows, []string{
 			r.Protocol, r.Cell, fmtRat(r.Baseline), fmtRat(r.Searched),
 			fmtRat(r.ShiftBound), fmtBool(r.Seeded), fmt.Sprintf("%d", r.Evaluated),
-			fmt.Sprintf("%.1f", r.StepsPerCand), fmt.Sprintf("%.1f", r.ResimPerCand),
-			fmt.Sprintf("%.0f%%", r.SavedPct), fmtBool(r.OK),
+			fmtFloat("%.1f", r.StepsPerCand), fmtFloat("%.1f", r.ResimPerCand),
+			fmtFloat("%.0f%%", r.SavedPct), fmtBool(r.OK),
 		})
 		allOK = allOK && r.OK
 	}

@@ -73,7 +73,7 @@ func E5Counterexample(opt E5Options) ([]E5Row, *Table, error) {
 	for _, r := range rows {
 		table.Rows = append(table.Rows, []string{
 			r.Protocol, fmtRat(r.Dc), fmtRat(r.PreSwitch), fmtRat(r.Peak),
-			fmt.Sprintf("%.3f", r.PeakOverDc), fmtBool(r.LinearInDc),
+			fmtFloat("%.3f", r.PeakOverDc), fmtBool(r.LinearInDc),
 		})
 	}
 	table.Notes = append(table.Notes,

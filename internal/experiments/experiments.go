@@ -20,10 +20,12 @@
 //	E11 seeds           seed stability of the randomized sweeps
 //	E12 streaming       online skew at line sizes beyond the recorded path
 //	E13 search          worst-case adversary search vs baseline and Shift bound
+//	E14 adaptive        online §2 scheduler (adaptive adversary) vs scripted search
 package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"gcs/internal/rat"
@@ -88,6 +90,26 @@ func fmtRat(r rat.Rat) string {
 		return s
 	}
 	return fmt.Sprintf("%.4f", r.Float64())
+}
+
+// fmtFloat renders a derived float column (ratios, percentages) with the
+// given fmt verb, mapping the non-finite values to stable strings. Table
+// cells are strings, so ±Inf/NaN can never corrupt the JSON the tables are
+// marshaled into — but "+Inf" spellings vary across formatting paths, and a
+// raw float64 leaking into a future schema would make json.Marshal fail
+// outright. Every ratio column goes through here so a degenerate run (zero
+// candidates, zero steps) renders as "inf"/"nan" and the table stays
+// machine-readable.
+func fmtFloat(format string, v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	}
+	return fmt.Sprintf(format, v)
 }
 
 func fmtBool(b bool) string {

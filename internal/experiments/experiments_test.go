@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -306,6 +307,105 @@ func TestE12(t *testing.T) {
 	}
 	if !strings.Contains(table.Render(), "E12") {
 		t.Error("table missing E12 id")
+	}
+}
+
+// TestTableNonFiniteJSON: a ratio column hitting ±Inf/NaN must survive the
+// gcsbench -json path — fmtFloat renders the non-finite values as stable
+// strings, json.Marshal succeeds, and the output round-trips.
+func TestTableNonFiniteJSON(t *testing.T) {
+	zero := 0.0
+	tb := &Table{
+		ID:     "T",
+		Title:  "degenerate ratios",
+		Header: []string{"steps/cand", "resim/cand", "saved"},
+		Rows: [][]string{{
+			fmtFloat("%.1f", 1/zero),      // +Inf: zero candidates evaluated
+			fmtFloat("%.1f", -1/zero),     // -Inf
+			fmtFloat("%.0f%%", zero/zero), // NaN: zero-step run
+		}},
+	}
+	data, err := json.Marshal([]*Table{tb})
+	if err != nil {
+		t.Fatalf("non-finite cells broke json.Marshal: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("marshaled table is not valid JSON: %s", data)
+	}
+	var back []Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got := back[0].Rows[0]; got[0] != "inf" || got[1] != "-inf" || got[2] != "nan" {
+		t.Fatalf("non-finite cells rendered as %v, want inf/-inf/nan", got)
+	}
+	// Finite values keep their ordinary formatting.
+	if got := fmtFloat("%.1f", 2.5); got != "2.5" {
+		t.Fatalf("fmtFloat(2.5) = %q", got)
+	}
+}
+
+func TestE14(t *testing.T) {
+	opt, err := DefaultE14(smallProtos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, table, err := E14AdaptiveAdversary(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(smallProtos())*len(opt.Cells) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(smallProtos())*len(opt.Cells))
+	}
+	twoNode := 0
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s on %s: adaptive %s below its floor (baseline %s, shift %s)",
+				r.Protocol, r.Cell, r.Adaptive, r.Baseline, r.ShiftBound)
+		}
+		// On two-node cells (the production floor's own condition) the
+		// online scheduler must attain the certified bound the scripted
+		// search already recovers.
+		if strings.HasPrefix(r.Cell, "two-node") {
+			twoNode++
+			if r.Adaptive.Less(r.ShiftBound) {
+				t.Errorf("%s on %s: adaptive %s below certified Shift bound %s",
+					r.Protocol, r.Cell, r.Adaptive, r.ShiftBound)
+			}
+		}
+	}
+	if twoNode == 0 {
+		t.Error("smoke configuration has no two-node cell")
+	}
+	if !strings.Contains(table.Render(), "E14") {
+		t.Error("table missing E14 id")
+	}
+}
+
+// TestE14LongCells: -long adds a larger two-node cell and a line.
+func TestE14LongCells(t *testing.T) {
+	opt, err := DefaultE14(smallProtos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := LongE14Cells(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long.Cells) != len(opt.Cells)+2 {
+		t.Fatalf("long cells = %d, want %d", len(long.Cells), len(opt.Cells)+2)
+	}
+	var bigTwo, line bool
+	for _, c := range long.Cells {
+		if c.Net.N() == 2 && c.Net.Diameter().Equal(rat.FromInt(8)) {
+			bigTwo = true
+		}
+		if c.Net.N() == 5 {
+			line = true
+		}
+	}
+	if !bigTwo || !line {
+		t.Fatalf("long cells missing the d=8 two-node or the line: %+v", long.Cells)
 	}
 }
 

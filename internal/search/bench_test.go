@@ -16,7 +16,7 @@ import (
 // per-round workload of the search loop.
 func benchCandidates(b *testing.B, opt Options) []candidate {
 	b.Helper()
-	if err := normalize(&opt); err != nil {
+	if _, err := normalize(&opt); err != nil {
 		b.Fatal(err)
 	}
 	seedEval := evaluate(opt, candidate{rates: make([]rat.Rat, opt.Net.N())})
@@ -41,7 +41,7 @@ func BenchmarkSearch(b *testing.B) {
 		Rho:            rat.MustFrac(1, 2),
 		DelayMutations: 12,
 	}
-	if err := normalize(&opt); err != nil {
+	if _, err := normalize(&opt); err != nil {
 		b.Fatal(err)
 	}
 	cands := benchCandidates(b, opt)

@@ -21,6 +21,17 @@
 // Rate mutants, windowed mutants, and seeds change hardware schedules from
 // time zero, so they share no prefix and evaluate from scratch on the same
 // worker pool.
+//
+// Stateful tail adversaries (engine.StatefulAdversary) are fork-safe: every
+// trunk and every from-scratch evaluation runs against an independent clone
+// of the Base's initial state, and a fork inherits Engine.Fork's clone of
+// the trunk tail's state at the fork point — exactly the state a full
+// re-simulation of that candidate would have reached there, preserving the
+// byte-identical-to-resim guarantee. A stateful Base that cannot be cloned
+// is never forked or shared across workers: normalize degrades the whole
+// search to serial full re-simulation on the one shared instance — state
+// carrying across evaluations in candidate order — and says exactly that in
+// Result.Notes.
 package search
 
 import (
@@ -37,6 +48,20 @@ import (
 // events actually dispatched — trunk replays included.
 func evalAll(opt Options, cands []candidate) ([]evaluation, uint64) {
 	results := make([]evaluation, len(cands))
+
+	// Serial fallback (stateful, non-cloneable Base): the single shared tail
+	// instance must see one run at a time, in candidate-index order, so the
+	// outcome is at least deterministic in Options. Its state carries from
+	// each run into the next — see the Options.Base doc and the note
+	// normalize records.
+	if opt.serialEval {
+		var dispatched uint64
+		for i := range cands {
+			results[i] = evaluate(opt, cands[i])
+			dispatched += results[i].cost
+		}
+		return results, dispatched
+	}
 
 	// Partition: delay mutants group by parent log, everything else is
 	// from-scratch work.
@@ -113,7 +138,7 @@ func runTrunk(opt Options, cands []candidate, idxs []int, plog *DecisionLog, res
 	log := NewDecisionLog(opt.Net)
 	trunk, err := engine.New(opt.Net,
 		engine.WithProtocol(opt.Protocol),
-		engine.WithAdversary(engine.ScriptedAdversary{Delays: plog.Script(), Fallback: opt.Base}),
+		engine.WithAdversary(engine.ScriptedAdversary{Delays: plog.Script(), Fallback: baseTail(opt)}),
 		engine.WithSchedules(scheds),
 		engine.WithRho(opt.Rho),
 		engine.WithObservers(skew, log),
@@ -147,7 +172,16 @@ func runTrunk(opt Options, cands []candidate, idxs []int, plog *DecisionLog, res
 			results[i] = evaluation{cand: c, err: err}
 			continue
 		}
-		if err := fork.SetAdversary(engine.ScriptedAdversary{Delays: c.script, Fallback: opt.Base}); err != nil {
+		// The fork's adversary is Fork's own clone of the trunk's scripted
+		// adversary — its tail carries the decision state accumulated over
+		// the shared prefix. Rebind the mutant's script over that tail, not
+		// over a pristine Base: a full re-simulation of this candidate would
+		// have evolved the very same tail state by this event.
+		tail := baseTail(opt)
+		if sc, ok := fork.Adversary().(engine.ScriptedAdversary); ok && sc.Fallback != nil {
+			tail = sc.Fallback
+		}
+		if err := fork.SetAdversary(engine.ScriptedAdversary{Delays: c.script, Fallback: tail}); err != nil {
 			results[i] = evaluation{cand: c, err: err}
 			continue
 		}
@@ -190,7 +224,7 @@ func evaluate(opt Options, cand candidate) evaluation {
 		return evaluation{cand: cand, err: err}
 	}
 	log := NewDecisionLog(opt.Net)
-	adv := engine.ScriptedAdversary{Delays: cand.script, Fallback: opt.Base}
+	adv := engine.ScriptedAdversary{Delays: cand.script, Fallback: baseTail(opt)}
 	eng, err := engine.New(opt.Net,
 		engine.WithProtocol(opt.Protocol),
 		engine.WithAdversary(adv),

@@ -88,6 +88,20 @@ type Options struct {
 
 	// Base seeds the search and serves as the tail adversary for decisions
 	// beyond every candidate script. Default: Midpoint().
+	//
+	// A stateful Base (an adaptive adversary observing the run it schedules)
+	// is supported when it implements engine.StatefulAdversary: every
+	// evaluation then runs against an independent clone of its initial
+	// state, and prefix-cached forks clone the trunk tail's state at the
+	// fork point, so results stay byte-identical to full re-simulation. A
+	// Base that observes the run without being cloneable cannot be forked
+	// or replicated: the search degrades to serial full re-simulation
+	// (DisablePrefixCache, Workers = 1) with the single Base instance
+	// carried through every evaluation in candidate order — deterministic
+	// in Options, but candidate values then depend on the evaluations
+	// before them and Result.Script is not independently replayable
+	// against a fresh adversary. Result.Notes says so; prefer a cloneable
+	// Base.
 	Base engine.Adversary
 
 	// Seeds are additional initial candidates (certified constructions,
@@ -130,6 +144,12 @@ type Options struct {
 	// forking shared script prefixes. Results are byte-identical either way;
 	// the flag exists for benchmarking and for the equivalence tests.
 	DisablePrefixCache bool
+
+	// serialEval forces in-order, single-threaded from-scratch evaluation.
+	// normalize sets it when Base is stateful but not cloneable: the one
+	// shared Base instance must then see candidate runs one at a time, in a
+	// deterministic order.
+	serialEval bool
 }
 
 // Result is the outcome of a search: the best adversary found, as a
@@ -171,6 +191,11 @@ type Result struct {
 	// EngineSteps is the prefix-cache speedup.
 	EngineSteps    uint64
 	CandidateSteps uint64
+	// Notes records evaluation-strategy degradations the search applied —
+	// currently the serial from-scratch fallback for a stateful,
+	// non-cloneable Base — so a caller (or a log reader) can see why a run
+	// evaluated slower than configured.
+	Notes []string
 }
 
 // StepsPerCandidate returns the engine events dispatched per evaluated
@@ -247,7 +272,8 @@ type evaluation struct {
 // the package comment for the algorithm; the result is deterministic in
 // Options alone.
 func Search(opt Options) (*Result, error) {
-	if err := normalize(&opt); err != nil {
+	notes, err := normalize(&opt)
+	if err != nil {
 		return nil, err
 	}
 	n := opt.Net.N()
@@ -328,6 +354,7 @@ func Search(opt Options) (*Result, error) {
 		Evaluated:      evaluated,
 		EngineSteps:    engineSteps,
 		CandidateSteps: candidateSteps,
+		Notes:          notes,
 	}, nil
 }
 
@@ -340,19 +367,20 @@ func fullSteps(evals []evaluation) uint64 {
 	return total
 }
 
-// normalize validates opt and fills defaults.
-func normalize(opt *Options) error {
+// normalize validates opt, fills defaults, and returns notes describing any
+// evaluation-strategy degradation it had to apply.
+func normalize(opt *Options) ([]string, error) {
 	if opt.Net == nil {
-		return fmt.Errorf("search: nil network")
+		return nil, fmt.Errorf("search: nil network")
 	}
 	if opt.Protocol == nil {
-		return fmt.Errorf("search: nil protocol")
+		return nil, fmt.Errorf("search: nil protocol")
 	}
 	if opt.Duration.Sign() <= 0 {
-		return fmt.Errorf("search: non-positive duration %s", opt.Duration)
+		return nil, fmt.Errorf("search: non-positive duration %s", opt.Duration)
 	}
 	if opt.Objective == ObjectiveGradientMargin && opt.Gradient == nil {
-		return fmt.Errorf("search: ObjectiveGradientMargin needs a Gradient func")
+		return nil, fmt.Errorf("search: ObjectiveGradientMargin needs a Gradient func")
 	}
 	n := opt.Net.N()
 	if opt.Schedules == nil {
@@ -362,18 +390,18 @@ func normalize(opt *Options) error {
 		}
 	}
 	if len(opt.Schedules) != n {
-		return fmt.Errorf("search: %d schedules for %d nodes", len(opt.Schedules), n)
+		return nil, fmt.Errorf("search: %d schedules for %d nodes", len(opt.Schedules), n)
 	}
 	for _, s := range opt.Seeds {
 		if s.Schedules != nil && len(s.Schedules) != n {
-			return fmt.Errorf("search: seed %q has %d schedules for %d nodes", s.Name, len(s.Schedules), n)
+			return nil, fmt.Errorf("search: seed %q has %d schedules for %d nodes", s.Name, len(s.Schedules), n)
 		}
 	}
 	if opt.MutateTail.Sign() < 0 || opt.MutateTail.Greater(rat.FromInt(1)) {
-		return fmt.Errorf("search: MutateTail %s outside [0, 1]", opt.MutateTail)
+		return nil, fmt.Errorf("search: MutateTail %s outside [0, 1]", opt.MutateTail)
 	}
 	if opt.RateWindows < 0 {
-		return fmt.Errorf("search: negative RateWindows %d", opt.RateWindows)
+		return nil, fmt.Errorf("search: negative RateWindows %d", opt.RateWindows)
 	}
 	if opt.Base == nil {
 		opt.Base = engine.Midpoint()
@@ -390,7 +418,35 @@ func normalize(opt *Options) error {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
-	return nil
+	var notes []string
+	if _, ok := engine.CloneAdversaryState(opt.Base); !ok {
+		// The one Base instance cannot be forked or replicated: evaluating
+		// candidates concurrently would race on its state, and forking a
+		// trunk would silently share it across branches. Degrade to serial
+		// full re-simulation. This is deterministic in Options but weaker
+		// than the cloneable path: the shared instance's state carries from
+		// one candidate run into the next, so candidate values depend on
+		// evaluation order and the winning script does not replay
+		// independently — which the note states outright.
+		opt.DisablePrefixCache = true
+		opt.Workers = 1
+		opt.serialEval = true
+		notes = append(notes, fmt.Sprintf(
+			"base adversary %T is stateful but not cloneable (observes the run without implementing engine.StatefulAdversary): prefix caching and parallel evaluation disabled; candidates re-simulated serially with the one shared adversary instance, whose state carries across evaluations in candidate order — deterministic, but Script/Best are not independently replayable; implement CloneAdversary for exact semantics", opt.Base))
+	}
+	return notes, nil
+}
+
+// baseTail returns the tail adversary one evaluation should run against: an
+// independent clone of the Base's initial state when the Base is stateful,
+// the Base itself when stateless. On the serial fallback path (stateful,
+// not cloneable) the shared instance is returned — evaluations are then
+// strictly sequential.
+func baseTail(opt Options) engine.Adversary {
+	if tail, ok := engine.CloneAdversaryState(opt.Base); ok {
+		return tail
+	}
+	return opt.Base
 }
 
 // effectiveScheds materializes the hardware schedules a candidate runs
