@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-snapshot
+.PHONY: all build test vet lint bench bench-snapshot bench-perf bench-gated
 
 all: vet build test
 
@@ -13,6 +13,13 @@ test:
 	$(GO) test -race ./...
 
 vet:
+	$(GO) vet ./...
+
+# Formatting + vet, exactly what the CI lint job runs: gofmt -l output is a
+# failure with the offending files named.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
 # One pass over every benchmark: regenerates each experiment's headline
@@ -31,3 +38,18 @@ bench-snapshot:
 	$(GO) run ./cmd/gcsbench -json > BENCH_suite.json
 	$(GO) run ./cmd/gcsbench -long -only E13 -json > BENCH_E13_long.json
 	$(GO) run ./cmd/gcsbench -long -only E14 -json > BENCH_E14_long.json
+
+# Timing snapshot of the gated perf workloads (ns/step + allocs/step for
+# the E12 streaming engine and the E13 search, via gcsbench -perf /
+# internal/perf). Machine-dependent — BENCH_perf.json records the perf
+# trajectory per-PR on the maintainer's machine and is NOT diff-checked in
+# CI (the CI perf-gate job compares head vs merge base instead).
+bench-perf:
+	$(GO) run ./cmd/gcsbench -perf > BENCH_perf.json
+
+# The exact benchmark command the CI perf-gate job runs on the PR head and
+# on the merge base; pipe each into a file and compare with
+# `go run ./cmd/perfgate -base base.txt -head head.txt` (and/or benchstat).
+bench-gated:
+	$(GO) test -bench 'EngineStream|SearchPrefixCached|SearchEndToEnd' \
+		-benchmem -count 6 -run '^$$' ./...

@@ -11,6 +11,8 @@
 //	gcsbench -only E4   # one experiment (E1..E14)
 //	gcsbench -stream    # E12 only: online skew metrics on large lines
 //	gcsbench -json      # machine-readable tables (BENCH_*.json trend tracking)
+//	gcsbench -perf      # timing snapshot of the gated perf workloads
+//	                    # (BENCH_perf.json; machine-dependent, JSON only)
 //
 // Output is buffered and printed only when the requested experiments all
 // succeed; on failure nothing but the error (on stderr, exit 1) is emitted,
@@ -28,6 +30,7 @@ import (
 
 	"gcs/internal/algorithms"
 	"gcs/internal/experiments"
+	"gcs/internal/perf"
 	"gcs/internal/rat"
 	"gcs/internal/sim"
 )
@@ -37,8 +40,19 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E13)")
 	stream := flag.Bool("stream", false, "run only the E12 streaming scale sweep")
 	jsonOut := flag.Bool("json", false, "emit experiment tables as machine-readable JSON")
+	perfOut := flag.Bool("perf", false, "measure the gated perf workloads and emit BENCH_perf.json content (timing; machine-dependent)")
 	flag.Parse()
-	out, err := run(*long, strings.ToUpper(*only), *stream, *jsonOut)
+	var out string
+	var err error
+	if *perfOut {
+		if *long || *only != "" || *stream || *jsonOut {
+			err = fmt.Errorf("-perf measures a fixed workload set and combines with no other flag")
+		} else {
+			out, err = perf.SnapshotJSON()
+		}
+	} else {
+		out, err = run(*long, strings.ToUpper(*only), *stream, *jsonOut)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcsbench:", err)
 		os.Exit(1)

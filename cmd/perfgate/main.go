@@ -1,0 +1,83 @@
+// Command perfgate is the CI perf-regression gate: it compares two
+// `go test -bench` outputs — the merge base's and the PR head's — and fails
+// when any gated benchmark regressed past its threshold.
+//
+// Usage:
+//
+//	go test -bench 'EngineStream|SearchPrefixCached|SearchEndToEnd' \
+//	    -benchmem -count 6 -run '^$' ./... > head.txt     # on the PR head
+//	git checkout <merge-base> && go test ... > base.txt   # same command
+//	perfgate -base base.txt -head head.txt
+//
+// Each gated benchmark is aggregated by the median of its -count
+// repetitions (one noisy repetition cannot fail or save a run), then head
+// vs base is checked per unit: ns/op may grow at most -max-ns (default 30%),
+// allocs/op at most -max-allocs (default 20%). Benchmarks present in only
+// one file are skipped — new benchmarks have no baseline, deleted ones
+// nothing to protect — so the gate works across revisions with different
+// benchmark sets. Exit status 1 means at least one gate was exceeded; the
+// report lists every gated comparison either way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"gcs/internal/perf"
+)
+
+func main() {
+	base := flag.String("base", "", "bench output of the comparison baseline (required)")
+	head := flag.String("head", "", "bench output of the candidate revision (required)")
+	match := flag.String("match", "EngineStream|SearchPrefixCached|SearchEndToEnd",
+		"regexp of benchmark names to gate (empty gates everything)")
+	maxNs := flag.Float64("max-ns", 0.30, "tolerated relative ns/op regression")
+	maxAllocs := flag.Float64("max-allocs", 0.20, "tolerated relative allocs/op regression")
+	flag.Parse()
+	if err := run(*base, *head, *match, *maxNs, *maxAllocs, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, headPath, match string, maxNs, maxAllocs float64, out *os.File) error {
+	if basePath == "" || headPath == "" {
+		return fmt.Errorf("both -base and -head are required")
+	}
+	parse := func(path string) (map[string][]perf.BenchLine, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return perf.ParseBench(f)
+	}
+	baseBench, err := parse(basePath)
+	if err != nil {
+		return err
+	}
+	headBench, err := parse(headPath)
+	if err != nil {
+		return err
+	}
+	gate := perf.Gate{MaxNsRegress: maxNs, MaxAllocsRegress: maxAllocs}
+	if match != "" {
+		re, err := regexp.Compile(match)
+		if err != nil {
+			return fmt.Errorf("bad -match regexp: %w", err)
+		}
+		gate.Match = re
+	}
+	deltas := gate.Compare(baseBench, headBench)
+	fmt.Fprint(out, perf.Render(deltas))
+	if fails := perf.Failures(deltas); len(fails) > 0 {
+		return fmt.Errorf("%d perf gate(s) exceeded (ns/op > +%.0f%% or allocs/op > +%.0f%%)",
+			len(fails), maxNs*100, maxAllocs*100)
+	}
+	if len(deltas) == 0 {
+		return fmt.Errorf("no gated benchmarks present in both inputs — wrong files or bad -match?")
+	}
+	return nil
+}

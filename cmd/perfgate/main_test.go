@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+BenchmarkEngineStream/dur=32-8  3  100000 ns/op  1000 allocs/op
+BenchmarkEngineStream/dur=32-8  3  102000 ns/op  1000 allocs/op
+BenchmarkEngineStream/dur=32-8  3   98000 ns/op  1000 allocs/op
+BenchmarkSearchPrefixCached-8   2  500000 ns/op  2000 allocs/op
+BenchmarkUngated-8              9  100 ns/op     10 allocs/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePasses(t *testing.T) {
+	head := strings.ReplaceAll(baseOut, "500000 ns/op", "600000 ns/op") // +20% < 30%
+	err := run(writeTemp(t, "base.txt", baseOut), writeTemp(t, "head.txt", head),
+		"EngineStream|SearchPrefixCached|SearchEndToEnd", 0.30, 0.20, os.Stdout)
+	if err != nil {
+		t.Fatalf("gate must pass within thresholds: %v", err)
+	}
+}
+
+func TestGateFailsOnNsRegression(t *testing.T) {
+	head := strings.ReplaceAll(baseOut, "500000 ns/op", "700000 ns/op") // +40% > 30%
+	err := run(writeTemp(t, "base.txt", baseOut), writeTemp(t, "head.txt", head),
+		"EngineStream|SearchPrefixCached|SearchEndToEnd", 0.30, 0.20, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("want gate failure, got %v", err)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	head := strings.ReplaceAll(baseOut, "2000 allocs/op", "2500 allocs/op") // +25% > 20%
+	err := run(writeTemp(t, "base.txt", baseOut), writeTemp(t, "head.txt", head),
+		"EngineStream|SearchPrefixCached|SearchEndToEnd", 0.30, 0.20, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("want gate failure, got %v", err)
+	}
+}
+
+func TestGateIgnoresUngatedBenchmarks(t *testing.T) {
+	head := strings.ReplaceAll(baseOut, "100 ns/op", "9000 ns/op") // huge, but not gated
+	err := run(writeTemp(t, "base.txt", baseOut), writeTemp(t, "head.txt", head),
+		"EngineStream|SearchPrefixCached|SearchEndToEnd", 0.30, 0.20, os.Stdout)
+	if err != nil {
+		t.Fatalf("ungated benchmark must not fail the gate: %v", err)
+	}
+}
+
+func TestGateRejectsEmptyIntersection(t *testing.T) {
+	err := run(writeTemp(t, "base.txt", "PASS\n"), writeTemp(t, "head.txt", baseOut),
+		"EngineStream", 0.30, 0.20, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "no gated benchmarks") {
+		t.Fatalf("empty intersection must be an error, got %v", err)
+	}
+}

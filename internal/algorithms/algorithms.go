@@ -39,8 +39,24 @@ type ValueMsg struct {
 	Val rat.Rat
 }
 
-// MsgString implements sim.Message.
-func (m ValueMsg) MsgString() string { return "v:" + m.Val.String() }
+// MsgString implements sim.Message. It is called for every message the
+// simulator observes, so the common small-rational case is rendered into a
+// stack buffer and converted with a single allocation.
+func (m ValueMsg) MsgString() string {
+	n, nok := m.Val.Num()
+	d, dok := m.Val.Den()
+	if !nok || !dok {
+		return "v:" + m.Val.String()
+	}
+	var buf [44]byte // len("v:" + "-9223372036854775808/9223372036854775807")
+	out := append(buf[:0], 'v', ':')
+	out = strconv.AppendInt(out, n, 10)
+	if d != 1 {
+		out = append(out, '/')
+		out = strconv.AppendInt(out, d, 10)
+	}
+	return string(out)
+}
 
 // PulseMsg is an RBS beacon pulse.
 type PulseMsg struct {
@@ -117,9 +133,10 @@ func (n *maxNode) OnTimer(rt *sim.Runtime, _ int) {
 }
 
 func (n *maxNode) broadcast(rt *sim.Runtime) {
-	l := rt.Logical()
+	// Box the payload once: the same immutable value goes to every neighbor.
+	msg := sim.Message(ValueMsg{Val: rt.Logical()})
 	for _, j := range rt.Neighbors() {
-		rt.Send(j, ValueMsg{Val: l})
+		rt.Send(j, msg)
 	}
 }
 
@@ -215,9 +232,9 @@ func (n *gradientNode) Init(rt *sim.Runtime) {
 }
 
 func (n *gradientNode) OnTimer(rt *sim.Runtime, _ int) {
-	l := rt.Logical()
+	msg := sim.Message(ValueMsg{Val: rt.Logical()})
 	for _, j := range rt.Neighbors() {
-		rt.Send(j, ValueMsg{Val: l})
+		rt.Send(j, msg)
 	}
 	n.adjust(rt)
 	rt.SetTimerAtHW(rt.HW().Add(n.params.Period), tickTimer)

@@ -82,6 +82,13 @@ func (s *Schedule) Rates() []RateSeg {
 	return out
 }
 
+// RatesView returns the schedule's rate segments without copying. The caller
+// must not modify the returned slice — it is the schedule's own storage.
+// Hot-path consumers (the engine's logical-clock compiler walks every
+// segment per node per execution) use it to avoid a copy per call; everyone
+// else should prefer Rates.
+func (s *Schedule) RatesView() []RateSeg { return s.rates }
+
 // HW returns H(t), the hardware clock reading at real time t >= 0.
 func (s *Schedule) HW(t rat.Rat) rat.Rat { return s.hw.Eval(t) }
 
@@ -95,16 +102,22 @@ func (s *Schedule) RealAt(h rat.Rat) (rat.Rat, error) {
 }
 
 // RateAt returns h(t), the rate in effect at real time t (right-continuous
-// at segment boundaries).
+// at segment boundaries). Binary search over the segment starts: schedules
+// produced by repeated surgery (ModifyWindow, WithRateFrom) accumulate many
+// segments, and RateAt sits on the logical-clock compilation path.
 func (s *Schedule) RateAt(t rat.Rat) rat.Rat {
-	r := s.rates[0].Rate
-	for _, seg := range s.rates {
-		if seg.At.Greater(t) {
-			break
+	// Find the last segment with At <= t; segment starts are strictly
+	// increasing and the first starts at 0 <= t.
+	lo, hi := 0, len(s.rates)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.rates[mid].At.LessEq(t) {
+			lo = mid
+		} else {
+			hi = mid - 1
 		}
-		r = seg.Rate
 	}
-	return r
+	return s.rates[lo].Rate
 }
 
 // HWFunc exposes the compiled H(t) piecewise-linear function (a clone).

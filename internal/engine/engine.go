@@ -34,9 +34,11 @@
 package engine
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"gcs/internal/clock"
 	"gcs/internal/network"
@@ -123,8 +125,8 @@ type Engine struct {
 
 	queue    eventQueue
 	seq      uint64
-	pairSeq  map[[2]int]uint64
-	runtimes []*Runtime
+	pairSeq  []uint64 // per-(from,to) message counters, indexed from*n+to
+	runtimes []Runtime
 	nodes    []Node
 
 	now     rat.Rat // real time of the last dispatched event
@@ -198,17 +200,19 @@ func New(net *network.Network, opts ...Option) (*Engine, error) {
 			return nil, fmt.Errorf("engine: node %d: %w", i, err)
 		}
 	}
-	e.pairSeq = make(map[[2]int]uint64)
-	e.runtimes = make([]*Runtime, n)
+	e.pairSeq = make([]uint64, n*n)
+	e.runtimes = make([]Runtime, n)
 	e.nodes = make([]Node, n)
 	for i := 0; i < n; i++ {
-		e.runtimes[i] = &Runtime{eng: e, id: i}
+		e.runtimes[i] = Runtime{eng: e, id: i}
 		e.nodes[i] = e.proto.NewNode(i)
 		// Default logical clock L = H until the node declares otherwise.
 		e.runtimes[i].decls = []trace.Decl{{Node: i, Mult: rat.FromInt(1)}}
 	}
 	for i := 0; i < n; i++ {
-		heap.Push(&e.queue, &event{kind: trace.KindInit, node: i, from: -1, seq: e.nextSeq()})
+		idx := e.queue.alloc()
+		e.queue.slab[idx] = event{kind: trace.KindInit, node: i, from: -1, seq: e.nextSeq()}
+		e.queue.push(idx)
 	}
 	return e, nil
 }
@@ -267,6 +271,11 @@ func (e *Engine) Err() error { return e.err }
 // its time. It returns false when the queue is empty (every node is idle and
 // no messages are in flight). After an error the engine is poisoned: Step
 // keeps returning the same error.
+//
+// Steady-state stepping is allocation-free on the engine's side: the
+// dispatched event's slab slot is recycled through the queue's free list, so
+// the only allocations per step are whatever the node callbacks themselves
+// perform (message payloads, protocol state).
 func (e *Engine) Step() (bool, error) {
 	if e.err != nil {
 		return false, e.err
@@ -274,12 +283,10 @@ func (e *Engine) Step() (bool, error) {
 	if e.queue.Len() == 0 {
 		return false, nil
 	}
-	ev, ok := heap.Pop(&e.queue).(*event)
-	if !ok {
-		e.fail(errors.New("engine: corrupt event queue"))
-		return false, e.err
-	}
-	e.dispatch(ev)
+	idx := e.queue.pop()
+	ev := e.queue.slab[idx] // copy out: the slot is reusable during dispatch
+	e.queue.release(idx)
+	e.dispatch(&ev)
 	if ev.time.Greater(e.horizon) {
 		e.horizon = ev.time
 	}
@@ -300,15 +307,13 @@ func (e *Engine) RunUntil(t rat.Rat) error {
 		return fmt.Errorf("engine: RunUntil(%s) before horizon %s", t, e.horizon)
 	}
 	for e.queue.Len() > 0 {
-		if e.queue.items[0].time.Greater(t) {
+		if e.queue.slab[e.queue.top()].time.Greater(t) {
 			break
 		}
-		ev, ok := heap.Pop(&e.queue).(*event)
-		if !ok {
-			e.fail(errors.New("engine: corrupt event queue"))
-			return e.err
-		}
-		e.dispatch(ev)
+		idx := e.queue.pop()
+		ev := e.queue.slab[idx] // copy out: the slot is reusable during dispatch
+		e.queue.release(idx)
+		e.dispatch(&ev)
 		if e.err != nil {
 			return e.err
 		}
@@ -351,10 +356,16 @@ func (e *Engine) emitAction(a trace.Action) {
 	}
 }
 
+// observed reports whether anything listens to the event stream: attached
+// observers or the adversary's feedback hook. When nothing does, dispatch
+// skips building delivery records and actions entirely (payload strings
+// included).
+func (e *Engine) observed() bool { return e.advObs != nil || len(e.obs) > 0 }
+
 func (e *Engine) dispatch(ev *event) {
 	e.now = ev.time
 	e.steps++
-	rt := e.runtimes[ev.node]
+	rt := &e.runtimes[ev.node]
 	hw := e.scheds[ev.node].HW(ev.time)
 	rt.hwNow = hw
 	switch ev.kind {
@@ -365,23 +376,31 @@ func (e *Engine) dispatch(ev *event) {
 		e.emitAction(trace.Action{Node: ev.node, Kind: trace.KindTimer, Real: ev.time, HW: hw, Peer: -1, TimerID: ev.timerID})
 		e.nodes[ev.node].OnTimer(rt, ev.timerID)
 	case trace.KindRecv:
-		payload := ev.payload.MsgString()
-		rec := trace.MsgRecord{
-			Key:       trace.MsgKey{From: ev.from, To: ev.node, Seq: ev.msgSeq},
-			SendReal:  ev.sendReal,
-			RecvReal:  ev.time,
-			Delay:     ev.delay,
-			Payload:   payload,
-			Delivered: true,
+		if e.observed() {
+			// The canonical payload string was cached at Send; recompute it
+			// only when the message was sent while the run was unobserved and
+			// an observer attached mid-flight.
+			payload := ev.payStr
+			if !ev.hasStr {
+				payload = ev.payload.MsgString()
+			}
+			rec := trace.MsgRecord{
+				Key:       trace.MsgKey{From: ev.from, To: ev.node, Seq: ev.msgSeq},
+				SendReal:  ev.sendReal,
+				RecvReal:  ev.time,
+				Delay:     ev.delay,
+				Payload:   payload,
+				Delivered: true,
+			}
+			if e.advObs != nil {
+				e.advObs.OnDeliver(rec)
+			}
+			for _, o := range e.obs {
+				o.OnDeliver(rec)
+			}
+			e.emitAction(trace.Action{Node: ev.node, Kind: trace.KindRecv, Real: ev.time, HW: hw,
+				Peer: ev.from, MsgSeq: ev.msgSeq, Payload: payload})
 		}
-		if e.advObs != nil {
-			e.advObs.OnDeliver(rec)
-		}
-		for _, o := range e.obs {
-			o.OnDeliver(rec)
-		}
-		e.emitAction(trace.Action{Node: ev.node, Kind: trace.KindRecv, Real: ev.time, HW: hw,
-			Peer: ev.from, MsgSeq: ev.msgSeq, Payload: payload})
 		e.nodes[ev.node].OnMessage(rt, ev.from, ev.payload)
 	default:
 		e.fail(fmt.Errorf("engine: unknown event kind %v", ev.kind))
@@ -401,7 +420,7 @@ func (e *Engine) Execution(rec *trace.Recorder) (*trace.Execution, error) {
 	hardware := make([]*piecewise.PLF, n)
 	for i := 0; i < n; i++ {
 		hardware[i] = e.scheds[i].HWFunc()
-		plf, err := compileLogical(e.scheds[i], e.runtimes[i].decls, e.horizon)
+		plf, err := compileLogicalCached(e.scheds[i], e.runtimes[i].decls, e.horizon)
 		if err != nil {
 			return nil, fmt.Errorf("engine: node %d logical clock: %w", i, err)
 		}
@@ -445,6 +464,80 @@ func Run(cfg Config) (*trace.Execution, error) {
 	return eng.Execution(rec)
 }
 
+// logicalCacheCap bounds the compiled-schedule memo. 512 entries cover the
+// working set of a candidate fleet (nodes × live horizons) with room to
+// spare; eviction is FIFO, so a scan over many distinct keys degrades to
+// plain compilation rather than unbounded growth.
+const logicalCacheCap = 512
+
+// logicalCache memoizes compileLogical across engines, keyed by the exact
+// inputs that determine its output: the schedule (pointer identity — a
+// Schedule is immutable, and forks share their parent's schedule pointers),
+// a fingerprint of the node's declaration history, and the horizon. Forked
+// runs that end at the same horizon with the same declarations — e.g. a
+// candidate fleet branched off one trunk whose mutations leave some nodes'
+// behavior untouched — compile each distinct logical clock once.
+var logicalCache = struct {
+	sync.Mutex
+	m     map[logicalKey]*piecewise.PLF
+	order []logicalKey // insertion order for FIFO eviction
+}{m: make(map[logicalKey]*piecewise.PLF)}
+
+type logicalKey struct {
+	sched   *clock.Schedule
+	decls   string
+	horizon string
+}
+
+// declsFingerprint canonically encodes a declaration history. Every field
+// that compileLogical reads is included, so equal fingerprints (with equal
+// schedule and horizon) imply equal compiled clocks.
+func declsFingerprint(decls []trace.Decl) string {
+	var b strings.Builder
+	for _, d := range decls {
+		b.WriteString(strconv.Itoa(d.Node))
+		b.WriteByte('@')
+		b.WriteString(d.Real.String())
+		b.WriteByte(',')
+		b.WriteString(d.HW0.String())
+		b.WriteByte(',')
+		b.WriteString(d.Value.String())
+		b.WriteByte(',')
+		b.WriteString(d.Mult.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// compileLogicalCached is compileLogical behind the memo: hits return a
+// clone of the cached PLF (callers own their result and may mutate it),
+// misses compile, store a private clone, and return the original.
+func compileLogicalCached(sched *clock.Schedule, decls []trace.Decl, horizon rat.Rat) (*piecewise.PLF, error) {
+	key := logicalKey{sched: sched, decls: declsFingerprint(decls), horizon: horizon.String()}
+	logicalCache.Lock()
+	if plf, ok := logicalCache.m[key]; ok {
+		logicalCache.Unlock()
+		return plf.Clone(), nil
+	}
+	logicalCache.Unlock()
+	plf, err := compileLogical(sched, decls, horizon)
+	if err != nil {
+		return nil, err
+	}
+	logicalCache.Lock()
+	if _, ok := logicalCache.m[key]; !ok {
+		if len(logicalCache.order) >= logicalCacheCap {
+			oldest := logicalCache.order[0]
+			logicalCache.order = logicalCache.order[1:]
+			delete(logicalCache.m, oldest)
+		}
+		logicalCache.m[key] = plf.Clone()
+		logicalCache.order = append(logicalCache.order, key)
+	}
+	logicalCache.Unlock()
+	return plf, nil
+}
+
 // compileLogical merges a node's logical-clock declarations with its
 // hardware rate schedule into an exact piecewise-linear L(t) over real time,
 // truncated at the horizon.
@@ -455,8 +548,8 @@ func compileLogical(sched *clock.Schedule, decls []trace.Decl, horizon rat.Rat) 
 		return nil, errors.New("no logical declarations")
 	}
 	plf := piecewise.New(rat.Rat{}, decls[0].Value, decls[0].Mult.Mul(sched.RateAt(rat.Rat{})))
-	rateBreaks := sched.Rates()
-	ri := 0 // index of the rate segment in effect
+	rateBreaks := sched.RatesView() // read-only walk; never modified
+	ri := 0                         // index of the rate segment in effect
 	advanceRate := func(t rat.Rat) {
 		for ri+1 < len(rateBreaks) && rateBreaks[ri+1].At.LessEq(t) {
 			ri++

@@ -13,17 +13,23 @@ import (
 // their adversaries diverge (see SetAdversary), which is the point: a shared
 // execution prefix is simulated once, then branched.
 //
-// The fork deep-clones everything mutable: the event queue, the per-pair
+// The fork clones everything mutable — the event queue, the per-pair
 // message sequence counters, the scheduling sequence, each node's Runtime
 // (hardware reading, logical-clock declarations), and each node automaton
-// via the Protocol's CloneState contract. The immutable environment — the
-// network, the hardware schedules, ρ — is shared. A stateless adversary is
-// inherited by reference; a StatefulAdversary is cloned via CloneAdversary
-// so trunk and fork decide from independent state, and an adversary that
-// observes the run without being cloneable fails the fork with a precise
-// error (sharing it would silently corrupt both branches). Message payloads
-// queued in flight are shared too: payloads must be value-determined and
-// never mutated after Send, which the Message contract already demands.
+// via the Protocol's CloneState contract — as a handful of bulk slab copies
+// rather than element-wise deep clones: the queue's slab/heap/free arrays
+// copy in three memmoves, the runtimes copy as one contiguous slab, and
+// every node's declaration history lands in one shared backing array (each
+// node's slice is capped at its own length, so a post-fork append copies on
+// write instead of bleeding into a neighbor's history). The immutable
+// environment — the network, the hardware schedules, ρ — is shared. A
+// stateless adversary is inherited by reference; a StatefulAdversary is
+// cloned via CloneAdversary so trunk and fork decide from independent state,
+// and an adversary that observes the run without being cloneable fails the
+// fork with a precise error (sharing it would silently corrupt both
+// branches). Message payloads queued in flight are shared too: payloads must
+// be value-determined and never mutated after Send, which the Message
+// contract already demands.
 //
 // The fork starts with no observers (the cloned adversary's own feedback
 // hook rebinds automatically — it is not part of the observer lists). To
@@ -53,24 +59,28 @@ func (e *Engine) Fork() (*Engine, error) {
 		steps:   e.steps,
 	}
 	f.bindAdversary(adv)
-	f.queue.items = make([]*event, len(e.queue.items))
-	for i, ev := range e.queue.items {
-		c := *ev
-		f.queue.items[i] = &c
+	f.queue.cloneFrom(&e.queue)
+	f.pairSeq = append([]uint64(nil), e.pairSeq...)
+
+	// Runtimes copy as one slab; the declaration histories share one backing
+	// array, each node's slice capped at its own length so appends after the
+	// fork reallocate instead of clobbering the next node's prefix.
+	totalDecls := 0
+	for i := range e.runtimes {
+		totalDecls += len(e.runtimes[i].decls)
 	}
-	f.pairSeq = make(map[[2]int]uint64, len(e.pairSeq))
-	for k, v := range e.pairSeq {
-		f.pairSeq[k] = v
-	}
-	f.runtimes = make([]*Runtime, n)
+	declSlab := make([]trace.Decl, 0, totalDecls)
+	f.runtimes = make([]Runtime, n)
 	f.nodes = make([]Node, n)
 	for i := 0; i < n; i++ {
-		rt := e.runtimes[i]
-		f.runtimes[i] = &Runtime{
+		rt := &e.runtimes[i]
+		start := len(declSlab)
+		declSlab = append(declSlab, rt.decls...)
+		f.runtimes[i] = Runtime{
 			eng:   f,
 			id:    i,
 			hwNow: rt.hwNow,
-			decls: append([]trace.Decl(nil), rt.decls...),
+			decls: declSlab[start:len(declSlab):len(declSlab)],
 		}
 		node := e.proto.CloneState(e.nodes[i])
 		if node == nil {

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 
 	"gcs/internal/rat"
@@ -81,7 +80,7 @@ func (rt *Runtime) Send(to int, msg Message) {
 		e.fail(fmt.Errorf("engine: node %d sends nil message", rt.id))
 		return
 	}
-	pair := [2]int{rt.id, to}
+	pair := rt.id*rt.N() + to
 	seq := e.pairSeq[pair]
 	e.pairSeq[pair] = seq + 1
 	bound := e.net.Dist(rt.id, to)
@@ -102,32 +101,42 @@ func (rt *Runtime) Send(to int, msg Message) {
 		return
 	}
 	recv := e.now.Add(delay)
-	payload := msg.MsgString()
-	rec := trace.MsgRecord{
-		Key:      trace.MsgKey{From: rt.id, To: to, Seq: seq},
-		SendReal: e.now,
-		Delay:    delay,
-		Payload:  payload,
+	var payload string
+	hasStr := e.observed()
+	if hasStr {
+		// Canonicalize once: the delivery record at dispatch reuses this
+		// string instead of calling MsgString a second time.
+		payload = msg.MsgString()
+		rec := trace.MsgRecord{
+			Key:      trace.MsgKey{From: rt.id, To: to, Seq: seq},
+			SendReal: e.now,
+			Delay:    delay,
+			Payload:  payload,
+		}
+		if e.advObs != nil {
+			e.advObs.OnSend(rec)
+		}
+		for _, o := range e.obs {
+			o.OnSend(rec)
+		}
+		e.emitAction(trace.Action{Node: rt.id, Kind: trace.KindSend, Real: e.now, HW: rt.hwNow,
+			Peer: to, MsgSeq: seq, Payload: payload})
 	}
-	if e.advObs != nil {
-		e.advObs.OnSend(rec)
-	}
-	for _, o := range e.obs {
-		o.OnSend(rec)
-	}
-	e.emitAction(trace.Action{Node: rt.id, Kind: trace.KindSend, Real: e.now, HW: rt.hwNow,
-		Peer: to, MsgSeq: seq, Payload: payload})
-	heap.Push(&e.queue, &event{
+	idx := e.queue.alloc()
+	e.queue.slab[idx] = event{
 		time:     recv,
 		kind:     trace.KindRecv,
 		node:     to,
 		from:     rt.id,
 		msgSeq:   seq,
 		payload:  msg,
+		payStr:   payload,
+		hasStr:   hasStr,
 		sendReal: e.now,
 		delay:    delay,
 		seq:      e.nextSeq(),
-	})
+	}
+	e.queue.push(idx)
 }
 
 // SetTimerAtHW schedules OnTimer(timerID) to fire when this node's hardware
@@ -143,12 +152,14 @@ func (rt *Runtime) SetTimerAtHW(hw rat.Rat, timerID int) {
 		e.fail(fmt.Errorf("engine: node %d timer: %w", rt.id, err))
 		return
 	}
-	heap.Push(&e.queue, &event{
+	idx := e.queue.alloc()
+	e.queue.slab[idx] = event{
 		time:    real,
 		kind:    trace.KindTimer,
 		node:    rt.id,
 		from:    -1,
 		timerID: timerID,
 		seq:     e.nextSeq(),
-	})
+	}
+	e.queue.push(idx)
 }

@@ -164,7 +164,7 @@ func (r Rat) Add(o Rat) Rat {
 		a, b := r.parts()
 		c, d := o.parts()
 		if small(a) && small(b) && small(c) && small(d) {
-			return normSmall(a*d+c*b, b*d)
+			return addSmall(a, b, c, d)
 		}
 	}
 	return fromBig(new(big.Rat).Add(r.toBig(), o.toBig()))
@@ -176,10 +176,41 @@ func (r Rat) Sub(o Rat) Rat {
 		a, b := r.parts()
 		c, d := o.parts()
 		if small(a) && small(b) && small(c) && small(d) {
-			return normSmall(a*d-c*b, b*d)
+			return addSmall(a, b, -c, d)
 		}
 	}
 	return fromBig(new(big.Rat).Sub(r.toBig(), o.toBig()))
+}
+
+// addSmall adds a/b + c/d, both in lowest terms with 0 < b, d < 2^30 and
+// |a|, |c| < 2^30, so no intermediate overflows int64. It follows Knuth
+// (TAOCP 4.5.1): with g = gcd(b, d), the only factor the wide sum can share
+// with the denominator divides g — so when g == 1 (coprime denominators,
+// and in particular every integer operand) the sum is already in lowest
+// terms and no gcd of the wide products is computed at all. This is the
+// engine's hottest arithmetic, called once or more per simulated event.
+func addSmall(a, b, c, d int64) Rat {
+	g := gcd64(b, d)
+	if g == 1 {
+		n := a*d + c*b
+		if n == 0 {
+			return Rat{}
+		}
+		return Rat{num: n, den: b * d}
+	}
+	// b = g·b', d = g·d' with gcd(b', d') = 1: the sum is t/(b'·d'·g) with
+	// t coprime to b' and d', so only g2 = gcd(|t|, g) remains to cancel.
+	dg := d / g
+	t := a*dg + c*(b/g)
+	if t == 0 {
+		return Rat{}
+	}
+	at := t
+	if at < 0 {
+		at = -at
+	}
+	g2 := gcd64(at, g)
+	return Rat{num: t / g2, den: (b / g2) * dg}
 }
 
 // Mul returns r * o.
@@ -205,7 +236,13 @@ func (r Rat) Mul(o Rat) Rat {
 			b /= g
 		}
 		if small(a) && small(b) && small(c) && small(d) {
-			return normSmall(a*c, b*d)
+			// After cross-reduction a⊥d and c⊥b (and a⊥b, c⊥d as reduced
+			// inputs), so a·c / (b·d) is already in lowest terms.
+			n := a * c
+			if n == 0 {
+				return Rat{}
+			}
+			return Rat{num: n, den: b * d}
 		}
 	}
 	return fromBig(new(big.Rat).Mul(r.toBig(), o.toBig()))

@@ -50,6 +50,7 @@ func BenchmarkSearch(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			o := opt
 			o.Workers = workers
+			b.ReportAllocs()
 			b.ReportMetric(float64(len(cands)), "candidates/op")
 			for i := 0; i < b.N; i++ {
 				results, _ := evalAll(o, cands)
@@ -105,6 +106,8 @@ func BenchmarkSearchPrefixCached(b *testing.B) {
 
 func benchSearch(b *testing.B, opt Options) {
 	b.Helper()
+	// The CI perf gate watches this pair's allocs/op alongside ns/op.
+	b.ReportAllocs()
 	var sink map[trace.MsgKey]rat.Rat
 	for i := 0; i < b.N; i++ {
 		res, err := Search(opt)
