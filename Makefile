@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-snapshot bench-perf bench-gated
+.PHONY: all build test vet lint bench bench-snapshot bench-perf bench-gated plan-smoke bench-history
 
 all: vet build test
 
@@ -53,3 +53,22 @@ bench-perf:
 bench-gated:
 	$(GO) test -bench 'EngineStream|SearchPrefixCached|SearchEndToEnd' \
 		-benchmem -count 6 -run '^$$' ./...
+
+# Distributed-search pricing smoke: plan the committed example campaign
+# without executing a single engine step (the CI test job runs this — it
+# proves the spec parses, the move-set arithmetic holds, and the cost model
+# loads or degrades cleanly).
+plan-smoke:
+	$(GO) run ./cmd/gcssearch plan -spec examples/campaign_e13_long.json -workers 4
+
+# Append this commit's gated-benchmark medians to the dev/bench/data.js
+# history (github-action-benchmark format). CI runs this on every push to
+# main; run it locally only to inspect the mechanism — local timings do not
+# belong in the shared curve.
+bench-history:
+	$(GO) test -bench 'EngineStream|SearchPrefixCached|SearchEndToEnd' \
+		-benchmem -count 6 -run '^$$' ./... > bench-head.txt
+	$(GO) run ./cmd/perfgate -append -head bench-head.txt \
+		-history dev/bench/data.js \
+		-commit "$$(git rev-parse HEAD)" \
+		-message "$$(git log -1 --format=%s)"

@@ -1,0 +1,247 @@
+// Command gcssearch plans and runs distributed worst-case adversary search
+// campaigns (internal/dist): a campaign spec — cells × move sets ×
+// generations, a JSON file — is priced without executing a single engine
+// step, served by any number of stateless workers, and driven by a
+// coordinator whose merged result is byte-identical to single-process
+// search.Search whatever the fleet does.
+//
+// Usage:
+//
+//	gcssearch plan -spec campaign.json [-bench BENCH_perf.json] [-workers 4]
+//	gcssearch worker -listen :9131 [-threads 4]
+//	gcssearch run -spec campaign.json [-workers http://h1:9131,http://h2:9131]
+//	gcssearch run -spec campaign.json -json     # JSON-lines progress + result
+//
+// A campaign spec looks like:
+//
+//	{
+//	  "protocol": "gradient",
+//	  "cells": [{"topology": "two-node", "diameter": "16", "duration": "32"}],
+//	  "rho": "1/2",
+//	  "rounds": 3, "beam": 2, "delay_mutations": 8, "mutate_tail": "1/2"
+//	}
+//
+// (Rationals are exact strings: "16", "1/2".) `plan` prices the campaign
+// from the move-set arithmetic and a measured ns/step; `worker` serves shard
+// evaluations over the versioned JSON/HTTP protocol; `run` executes against
+// the fleet (or in-process when -workers is empty), streaming one progress
+// line per merged generation. Worker failures degrade, never corrupt: shards
+// are reassigned to survivors, then evaluated locally, with the reasons in
+// the result's notes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gcs/internal/dist"
+	"gcs/internal/perf"
+	"gcs/internal/rat"
+	"gcs/internal/search"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcssearch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gcssearch plan   -spec campaign.json [-bench BENCH_perf.json] [-workers N] [-json]
+  gcssearch worker -listen :9131 [-threads N]
+  gcssearch run    -spec campaign.json [-workers url,url,...] [-shards N]
+                   [-timeout 120s] [-json]`)
+}
+
+// loadSpec reads and validates a campaign spec file.
+func loadSpec(path string) (dist.CampaignSpec, error) {
+	var spec dist.CampaignSpec
+	if path == "" {
+		return spec, fmt.Errorf("-spec is required")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// cmdPlan prices a campaign: candidate-count bounds and an ns/step-based
+// wall-clock estimate, without executing any engine step.
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("gcssearch plan", flag.ExitOnError)
+	specPath := fs.String("spec", "", "campaign spec file (required)")
+	bench := fs.String("bench", "BENCH_perf.json", "perf snapshot supplying the ns/step cost model")
+	workers := fs.Int("workers", 1, "planned evaluator count (for the parallel estimate)")
+	jsonOut := fs.Bool("json", false, "emit the plan as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	plan, err := dist.PlanCampaign(spec, perf.LoadCostModel(*bench), *workers)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(plan)
+	}
+	fmt.Print(plan.Render())
+	return nil
+}
+
+// cmdWorker serves shard evaluations until killed.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("gcssearch worker", flag.ExitOnError)
+	listen := fs.String("listen", ":9131", "address to serve the shard protocol on")
+	threads := fs.Int("threads", 0, "local evaluation pool size (0: the spec's, or GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := &dist.Worker{Threads: *threads}
+	fmt.Fprintf(os.Stderr, "gcssearch worker: protocol v%d on %s\n", dist.ProtocolVersion, *listen)
+	return http.ListenAndServe(*listen, w.Handler())
+}
+
+// cellOut is the JSON shape `run -json` emits per cell: the Result with the
+// script in wire form (the in-memory script is a struct-keyed map Go's JSON
+// encoder refuses).
+type cellOut struct {
+	Cell           dist.CellSpec        `json:"cell"`
+	Baseline       rat.Rat              `json:"baseline"`
+	Best           rat.Rat              `json:"best"`
+	BestCandidate  int                  `json:"best_candidate"`
+	WitnessI       int                  `json:"witness_i"`
+	WitnessJ       int                  `json:"witness_j"`
+	WitnessAt      rat.Rat              `json:"witness_at"`
+	Script         []search.ScriptEntry `json:"script"`
+	Rates          []rat.Rat            `json:"rates"`
+	Rounds         int                  `json:"rounds"`
+	Evaluated      int                  `json:"evaluated"`
+	EngineSteps    uint64               `json:"engine_steps"`
+	CandidateSteps uint64               `json:"candidate_steps"`
+	Notes          []string             `json:"notes,omitempty"`
+}
+
+// cmdRun executes a campaign against the fleet (or in-process) and streams
+// per-generation progress.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("gcssearch run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "campaign spec file (required)")
+	workers := fs.String("workers", "", "comma-separated worker base URLs (empty: in-process)")
+	shards := fs.Int("shards", 0, "shards per generation (0: one per worker)")
+	timeout := fs.Duration("timeout", dist.DefaultShardTimeout, "per-shard round-trip timeout")
+	jsonOut := fs.Bool("json", false, "stream progress and results as JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	var urls []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	for _, u := range urls {
+		if err := dist.Ping(nil, u); err != nil {
+			// A dead worker at startup is the same non-event as one dying
+			// mid-campaign; say so and let the coordinator route around it.
+			fmt.Fprintf(os.Stderr, "gcssearch: worker %s unreachable (will degrade): %v\n", u, err)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	coord := &dist.Coordinator{
+		Spec:    spec,
+		Workers: urls,
+		Shards:  *shards,
+		Timeout: *timeout,
+		Progress: func(ev dist.ProgressEvent) {
+			if *jsonOut {
+				_ = enc.Encode(ev)
+			} else {
+				fmt.Printf("cell %d (%s) round %d: %d candidates in %d shard(s) (%d remote, %d local), best %s after %d evaluations\n",
+					ev.Cell, ev.CellName, ev.Round, ev.Candidates, ev.Shards, ev.Remote, ev.Local, ev.Best, ev.Evaluated)
+			}
+		},
+	}
+	start := time.Now()
+	cells, err := coord.Run()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	if *jsonOut {
+		for _, cr := range cells {
+			res := cr.Result
+			_ = enc.Encode(cellOut{
+				Cell:           cr.Cell,
+				Baseline:       res.Baseline,
+				Best:           res.Best,
+				BestCandidate:  res.BestCandidate,
+				WitnessI:       res.Witness.I,
+				WitnessJ:       res.Witness.J,
+				WitnessAt:      res.Witness.At,
+				Script:         search.EncodeScript(res.Script),
+				Rates:          res.Rates,
+				Rounds:         res.Rounds,
+				Evaluated:      res.Evaluated,
+				EngineSteps:    res.EngineSteps,
+				CandidateSteps: res.CandidateSteps,
+				Notes:          res.Notes,
+			})
+		}
+		return nil
+	}
+	for i, cr := range cells {
+		res := cr.Result
+		fmt.Printf("cell %d %s:\n", i, cr.Cell.Label())
+		fmt.Printf("  baseline %s, searched worst case %s (candidate %d)\n", res.Baseline, res.Best, res.BestCandidate)
+		fmt.Printf("  witness pair (%d, %d) at t=%s\n", res.Witness.I, res.Witness.J, res.Witness.At)
+		fmt.Printf("  %d rounds, %d candidates, %d engine steps (%d re-simulated)\n",
+			res.Rounds, res.Evaluated, res.EngineSteps, res.CandidateSteps)
+		fmt.Printf("  script: %d scripted delays\n", len(res.Script))
+		for _, note := range res.Notes {
+			fmt.Printf("  note: %s\n", note)
+		}
+	}
+	fmt.Printf("campaign: %d cell(s) in %s\n", len(cells), elapsed)
+	return nil
+}

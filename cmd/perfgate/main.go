@@ -17,48 +17,72 @@
 // nothing to protect — so the gate works across revisions with different
 // benchmark sets. Exit status 1 means at least one gate was exceeded; the
 // report lists every gated comparison either way.
+//
+// With -append, perfgate instead records -head's measurements into a
+// bench-history file (github-action-benchmark data.js format):
+//
+//	perfgate -append -head head.txt -history dev/bench/data.js \
+//	    -commit "$GITHUB_SHA" -message "$(git log -1 --format=%s)" \
+//	    -repo-url https://github.com/owner/repo
+//
+// CI runs this on every main-branch push, so the same medians the PR gate
+// compares accumulate into a browsable trend curve under dev/bench/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
+	"time"
 
 	"gcs/internal/perf"
 )
 
 func main() {
-	base := flag.String("base", "", "bench output of the comparison baseline (required)")
+	base := flag.String("base", "", "bench output of the comparison baseline (required unless -append)")
 	head := flag.String("head", "", "bench output of the candidate revision (required)")
 	match := flag.String("match", "EngineStream|SearchPrefixCached|SearchEndToEnd",
 		"regexp of benchmark names to gate (empty gates everything)")
 	maxNs := flag.Float64("max-ns", 0.30, "tolerated relative ns/op regression")
 	maxAllocs := flag.Float64("max-allocs", 0.20, "tolerated relative allocs/op regression")
+	appendMode := flag.Bool("append", false, "append -head's medians to -history instead of gating")
+	history := flag.String("history", "dev/bench/data.js", "bench-history file to append to (with -append)")
+	commit := flag.String("commit", "", "commit id the -head measurements belong to (with -append)")
+	message := flag.String("message", "", "commit subject line (with -append)")
+	repoURL := flag.String("repo-url", "", "repository URL recorded in the history (with -append)")
 	flag.Parse()
-	if err := run(*base, *head, *match, *maxNs, *maxAllocs, os.Stdout); err != nil {
+	var err error
+	if *appendMode {
+		err = runAppend(*head, *history, *match, *commit, *message, *repoURL, time.Now(), os.Stdout)
+	} else {
+		err = run(*base, *head, *match, *maxNs, *maxAllocs, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfgate:", err)
 		os.Exit(1)
 	}
+}
+
+func parseBenchFile(path string) (map[string][]perf.BenchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return perf.ParseBench(f)
 }
 
 func run(basePath, headPath, match string, maxNs, maxAllocs float64, out *os.File) error {
 	if basePath == "" || headPath == "" {
 		return fmt.Errorf("both -base and -head are required")
 	}
-	parse := func(path string) (map[string][]perf.BenchLine, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return perf.ParseBench(f)
-	}
-	baseBench, err := parse(basePath)
+	baseBench, err := parseBenchFile(basePath)
 	if err != nil {
 		return err
 	}
-	headBench, err := parse(headPath)
+	headBench, err := parseBenchFile(headPath)
 	if err != nil {
 		return err
 	}
@@ -79,5 +103,64 @@ func run(basePath, headPath, match string, maxNs, maxAllocs float64, out *os.Fil
 	if len(deltas) == 0 {
 		return fmt.Errorf("no gated benchmarks present in both inputs — wrong files or bad -match?")
 	}
+	return nil
+}
+
+// runAppend records headPath's medians as one history entry for commit.
+func runAppend(headPath, historyPath, match, commit, message, repoURL string, now time.Time, out *os.File) error {
+	if headPath == "" {
+		return fmt.Errorf("-head is required")
+	}
+	if commit == "" {
+		return fmt.Errorf("-commit is required with -append")
+	}
+	headBench, err := parseBenchFile(headPath)
+	if err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if match != "" {
+		if re, err = regexp.Compile(match); err != nil {
+			return fmt.Errorf("bad -match regexp: %w", err)
+		}
+	}
+	raw, err := os.ReadFile(historyPath)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	h, err := perf.ParseHistory(raw)
+	if err != nil {
+		return err
+	}
+	if repoURL != "" {
+		h.RepoURL = repoURL
+	}
+	hc := perf.HistoryCommit{
+		ID:        commit,
+		Message:   message,
+		Timestamp: now.UTC().Format(time.RFC3339),
+	}
+	if h.RepoURL != "" {
+		hc.URL = h.RepoURL + "/commit/" + commit
+	}
+	entry := perf.EntryFromBench(headBench, hc, now.UnixMilli(), re)
+	if len(entry.Benches) == 0 {
+		return fmt.Errorf("no benchmarks in %s match %q — nothing to record", headPath, match)
+	}
+	h.Append(perf.HistorySeries, entry)
+	rendered, err := h.Render()
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(historyPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(historyPath, rendered, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d benchmark figure(s) for %s in %s (%d entries total)\n",
+		len(entry.Benches), commit, historyPath, len(h.Entries[perf.HistorySeries]))
 	return nil
 }

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"gcs/internal/perf"
 )
 
 const baseOut = `goos: linux
@@ -66,5 +69,90 @@ func TestGateRejectsEmptyIntersection(t *testing.T) {
 		"EngineStream", 0.30, 0.20, os.Stdout)
 	if err == nil || !strings.Contains(err.Error(), "no gated benchmarks") {
 		t.Fatalf("empty intersection must be an error, got %v", err)
+	}
+}
+
+func TestAppendBootstrapsAndExtendsHistory(t *testing.T) {
+	head := writeTemp(t, "head.txt", baseOut)
+	history := filepath.Join(t.TempDir(), "bench", "data.js")
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	gated := "EngineStream|SearchPrefixCached|SearchEndToEnd"
+
+	// First append bootstraps a fresh data.js under a fresh directory.
+	err := runAppend(head, history, gated, "abc123", "first commit",
+		"https://example.com/owner/repo", now, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "window.BENCHMARK_DATA = ") {
+		t.Fatalf("history missing data.js assignment prefix: %q", raw[:40])
+	}
+	h, err := perf.ParseHistory(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := h.Entries[perf.HistorySeries]
+	if len(entries) != 1 {
+		t.Fatalf("bootstrap wrote %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Commit.ID != "abc123" || e.Commit.URL != "https://example.com/owner/repo/commit/abc123" {
+		t.Fatalf("bad commit record: %+v", e.Commit)
+	}
+	if e.Date != now.UnixMilli() || h.LastUpdate != now.UnixMilli() {
+		t.Fatalf("bad dates: entry %d, lastUpdate %d", e.Date, h.LastUpdate)
+	}
+	// Gated benches only (EngineStream + SearchPrefixCached, ns + allocs
+	// each), median of the three EngineStream repetitions.
+	if len(e.Benches) != 4 {
+		t.Fatalf("recorded %d figures, want 4: %+v", len(e.Benches), e.Benches)
+	}
+	for _, b := range e.Benches {
+		if strings.Contains(b.Name, "Ungated") {
+			t.Fatalf("ungated benchmark recorded: %+v", b)
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkEngineStream") && b.Unit == "ns/op" && b.Value != 100000 {
+			t.Fatalf("EngineStream median = %v, want 100000", b.Value)
+		}
+	}
+
+	// Second append extends, preserving the first entry.
+	later := now.Add(time.Hour)
+	err = runAppend(head, history, gated, "def456", "second commit", "", later, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err = perf.ParseHistory(raw); err != nil {
+		t.Fatal(err)
+	}
+	entries = h.Entries[perf.HistorySeries]
+	if len(entries) != 2 || entries[0].Commit.ID != "abc123" || entries[1].Commit.ID != "def456" {
+		t.Fatalf("append did not extend history: %+v", entries)
+	}
+	if h.RepoURL != "https://example.com/owner/repo" {
+		t.Fatalf("append without -repo-url dropped the recorded URL: %q", h.RepoURL)
+	}
+	if h.LastUpdate != later.UnixMilli() {
+		t.Fatalf("lastUpdate not advanced: %d", h.LastUpdate)
+	}
+}
+
+func TestAppendRejectsEmptyMatch(t *testing.T) {
+	head := writeTemp(t, "head.txt", baseOut)
+	history := filepath.Join(t.TempDir(), "data.js")
+	err := runAppend(head, history, "NoSuchBenchmark", "abc", "", "", time.Now(), os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "nothing to record") {
+		t.Fatalf("want nothing-to-record error, got %v", err)
+	}
+	if _, statErr := os.Stat(history); !os.IsNotExist(statErr) {
+		t.Fatal("failed append must not write the history file")
 	}
 }

@@ -1,0 +1,68 @@
+window.BENCHMARK_DATA = {
+  "lastUpdate": 1786163546312,
+  "repoUrl": "",
+  "entries": {
+    "Go Benchmark": [
+      {
+        "commit": {
+          "id": "f57cf15fa346bdec0650e61d415e9a0788e44ac9",
+          "message": "v0: v5__go__conf_podc_FanL04 growth seed (0 files)",
+          "timestamp": "2026-08-08T04:32:26Z",
+          "url": ""
+        },
+        "date": 1786163546312,
+        "tool": "go",
+        "benches": [
+          {
+            "name": "BenchmarkEngineStream/dur=32",
+            "value": 24946877,
+            "unit": "ns/op",
+            "extra": "3 reps"
+          },
+          {
+            "name": "BenchmarkEngineStream/dur=32 - allocs",
+            "value": 7309,
+            "unit": "allocs/op",
+            "extra": "3 reps"
+          },
+          {
+            "name": "BenchmarkEngineStream/dur=96",
+            "value": 77372351,
+            "unit": "ns/op",
+            "extra": "3 reps"
+          },
+          {
+            "name": "BenchmarkEngineStream/dur=96 - allocs",
+            "value": 21076,
+            "unit": "allocs/op",
+            "extra": "3 reps"
+          },
+          {
+            "name": "BenchmarkSearchEndToEnd",
+            "value": 10610474,
+            "unit": "ns/op",
+            "extra": "3 reps"
+          },
+          {
+            "name": "BenchmarkSearchEndToEnd - allocs",
+            "value": 36416,
+            "unit": "allocs/op",
+            "extra": "3 reps"
+          },
+          {
+            "name": "BenchmarkSearchPrefixCached",
+            "value": 7557221,
+            "unit": "ns/op",
+            "extra": "3 reps"
+          },
+          {
+            "name": "BenchmarkSearchPrefixCached - allocs",
+            "value": 27087,
+            "unit": "allocs/op",
+            "extra": "3 reps"
+          }
+        ]
+      }
+    ]
+  }
+}

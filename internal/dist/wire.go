@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"gcs/internal/search"
+)
+
+// ProtocolVersion is the wire-protocol version. Coordinator and worker must
+// agree exactly: every request carries it, the worker rejects mismatches
+// with HTTP 400, and the coordinator treats a mismatch as a dead worker
+// (retry elsewhere, then local fallback) — never as data. Bump it whenever
+// the JSON shape of ShardRequest/ShardResponse or the search wire types
+// (Generation, ShardResult, the DecisionLog codec) changes incompatibly.
+const ProtocolVersion = 1
+
+// Wire paths served by Worker.Handler.
+const (
+	// PathShard evaluates one shard: POST a ShardRequest, receive a
+	// ShardResponse.
+	PathShard = "/v1/shard"
+	// PathPing is the liveness/version probe: GET, receive a PingResponse.
+	PathPing = "/v1/ping"
+)
+
+// ShardRequest asks a worker to evaluate candidates [Lo, Hi) of a campaign
+// generation. The request is self-contained — spec, cell index, and wire
+// generation — so workers hold no session state: any shard may go to any
+// worker, in any order, which is what makes retry-on-survivors trivial.
+type ShardRequest struct {
+	Version    int                `json:"version"`
+	Spec       CampaignSpec       `json:"spec"`
+	Cell       int                `json:"cell"`
+	Generation *search.Generation `json:"generation"`
+	Lo         int                `json:"lo"`
+	Hi         int                `json:"hi"`
+}
+
+// ShardResponse carries a shard's evaluation outcome. Error reports a
+// worker-side failure to evaluate (bad spec, version mismatch already
+// rejected at 400, unshardable campaign): the coordinator treats it like a
+// transport failure and reassigns the shard. A candidate whose evaluation
+// itself errors is NOT a worker failure — it arrives inside Result
+// (ErrID/ErrMsg) and fails the campaign identically to single-process
+// Search.
+type ShardResponse struct {
+	Version int                 `json:"version"`
+	Result  *search.ShardResult `json:"result,omitempty"`
+	Error   string              `json:"error,omitempty"`
+}
+
+// PingResponse answers the liveness probe.
+type PingResponse struct {
+	Version int    `json:"version"`
+	Status  string `json:"status"`
+}

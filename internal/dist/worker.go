@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gcs/internal/search"
+)
+
+// Worker serves shard evaluations. It is stateless between requests: every
+// ShardRequest carries the full campaign spec and wire generation, so a
+// fleet of workers needs no membership protocol — start any number, point
+// the coordinator at them, kill them freely.
+type Worker struct {
+	// Threads bounds the local evaluation pool for each shard (0: the
+	// request's spec setting, or GOMAXPROCS). Worker capacity is a local
+	// concern: it changes evaluation speed, never evaluation bytes.
+	Threads int
+}
+
+// Handler returns the worker's HTTP handler: POST PathShard evaluates a
+// shard, GET PathPing probes liveness and version.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathPing, func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(rw, "ping is GET", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(rw, http.StatusOK, PingResponse{Version: ProtocolVersion, Status: "ok"})
+	})
+	mux.HandleFunc(PathShard, func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "shard is POST", http.StatusMethodNotAllowed)
+			return
+		}
+		var req ShardRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(rw, http.StatusBadRequest, ShardResponse{
+				Version: ProtocolVersion, Error: fmt.Sprintf("decode request: %v", err),
+			})
+			return
+		}
+		if req.Version != ProtocolVersion {
+			writeJSON(rw, http.StatusBadRequest, ShardResponse{
+				Version: ProtocolVersion,
+				Error:   fmt.Sprintf("protocol version %d, worker speaks %d", req.Version, ProtocolVersion),
+			})
+			return
+		}
+		result, err := w.evaluate(&req)
+		if err != nil {
+			writeJSON(rw, http.StatusUnprocessableEntity, ShardResponse{
+				Version: ProtocolVersion, Error: err.Error(),
+			})
+			return
+		}
+		writeJSON(rw, http.StatusOK, ShardResponse{Version: ProtocolVersion, Result: result})
+	})
+	return mux
+}
+
+// evaluate rebuilds the shard's search options from the spec and runs the
+// local prefix-cached evaluator on the requested range.
+func (w *Worker) evaluate(req *ShardRequest) (*search.ShardResult, error) {
+	opt, err := req.Spec.CellOptions(req.Cell)
+	if err != nil {
+		return nil, err
+	}
+	if w.Threads > 0 {
+		opt.Workers = w.Threads
+	}
+	return search.EvaluateShard(opt, req.Generation, req.Lo, req.Hi)
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}

@@ -1,0 +1,135 @@
+package search
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gcs/internal/algorithms"
+	"gcs/internal/clock"
+	"gcs/internal/engine"
+	"gcs/internal/network"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// captureLog runs the gradient protocol on a small line under the midpoint
+// adversary and returns the realized decision log — a deterministic run, so
+// its serialized form is golden-file stable.
+func captureLog(t *testing.T) *DecisionLog {
+	t.Helper()
+	net, err := network.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := []*clock.Schedule{
+		clock.Constant(ri(1)),
+		clock.Constant(rf(9, 8)),
+		clock.Constant(rf(7, 8)),
+	}
+	log := NewDecisionLog(net)
+	eng, err := engine.New(net,
+		engine.WithProtocol(algorithms.Gradient(algorithms.DefaultGradientParams())),
+		engine.WithAdversary(engine.Midpoint()),
+		engine.WithSchedules(scheds),
+		engine.WithRho(rf(1, 4)),
+		engine.WithObservers(log),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(ri(6)); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("run captured no decisions")
+	}
+	return log
+}
+
+// TestDecisionLogJSONRoundTrip: the wire format the coordinator ships to
+// workers must reproduce every decision — and the derived script — bit for
+// bit.
+func TestDecisionLogJSONRoundTrip(t *testing.T) {
+	log := captureLog(t)
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := new(DecisionLog)
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != log.Len() {
+		t.Fatalf("decoded %d decisions, want %d", back.Len(), log.Len())
+	}
+	for i, d := range log.Decisions() {
+		b := back.Decisions()[i]
+		if b.Key != d.Key || !b.SendReal.Equal(d.SendReal) || !b.Delay.Equal(d.Delay) ||
+			!b.Bound.Equal(d.Bound) || b.Event != d.Event {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, b, d)
+		}
+	}
+	script, backScript := log.Script(), back.Script()
+	if len(backScript) != len(script) {
+		t.Fatalf("decoded script has %d entries, want %d", len(backScript), len(script))
+	}
+	for k, v := range script {
+		if bv, ok := backScript[k]; !ok || !bv.Equal(v) {
+			t.Fatalf("script entry %v differs: %s vs %s (present=%v)", k, v, bv, ok)
+		}
+	}
+	// The round-trip is idempotent: re-encoding the decoded log yields the
+	// same bytes.
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Fatalf("re-encoded log differs:\n%s\nvs\n%s", again, data)
+	}
+}
+
+// TestDecisionLogGolden pins the serialized form against a committed golden
+// file: the wire format is a compatibility surface (saved adversaries,
+// coordinator/worker exchanges), so accidental format drift must fail
+// loudly. Regenerate with `go test ./internal/search -run Golden -update`.
+func TestDecisionLogGolden(t *testing.T) {
+	log := captureLog(t)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "decisionlog.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("serialized DecisionLog drifted from golden file %s:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+	// The golden bytes themselves decode into a replayable log.
+	back := new(DecisionLog)
+	if err := json.Unmarshal(want, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != log.Len() {
+		t.Fatalf("golden decodes to %d decisions, want %d", back.Len(), log.Len())
+	}
+	if adv := back.Scripted(engine.Midpoint()); len(adv.Delays) != len(log.Script()) {
+		t.Fatalf("decoded log scripts %d delays, want %d", len(adv.Delays), len(log.Script()))
+	}
+}

@@ -162,6 +162,11 @@ type Result struct {
 	Baseline rat.Rat
 	// Best is the searched worst-case objective value (≥ Baseline).
 	Best rat.Rat
+	// BestCandidate is the winning candidate's global discovery index (0 =
+	// the unmutated base). Candidate indices are assigned in enumeration
+	// order, so this — like every other field except EngineSteps — is
+	// identical however the evaluation was scheduled or sharded.
+	BestCandidate int
 	// Witness is the pair and time attaining Best (skew objectives) or the
 	// pair with the worst margin (margin objective).
 	Witness core.PairSkew
@@ -271,91 +276,28 @@ type evaluation struct {
 // Search hunts a skew-maximizing execution for opt.Protocol on opt.Net. See
 // the package comment for the algorithm; the result is deterministic in
 // Options alone.
+//
+// Search is the single-process driver of a Campaign: each generation is
+// evaluated as one whole-pool shard. The distributed coordinator
+// (internal/dist) drives the identical Campaign with the pool partitioned
+// across workers; the merge is argmax with ties broken on candidate index,
+// so both paths produce byte-identical Results (EngineSteps excepted — see
+// the Campaign doc).
 func Search(opt Options) (*Result, error) {
-	notes, err := normalize(&opt)
+	c, err := NewCampaign(opt)
 	if err != nil {
 		return nil, err
 	}
-	n := opt.Net.N()
-
-	initial := []candidate{{id: 0, rates: make([]rat.Rat, n)}}
-	for _, s := range opt.Seeds {
-		initial = append(initial, candidate{
-			id:     len(initial),
-			script: s.Script,
-			rates:  make([]rat.Rat, n),
-			scheds: s.Schedules,
-		})
-	}
-	evals, dispatched := evalAll(opt, initial)
-	for i, ev := range evals {
-		if ev.err != nil {
-			if i == 0 {
-				return nil, fmt.Errorf("search: base run: %w", ev.err)
-			}
-			return nil, fmt.Errorf("search: seed %q: %w", opt.Seeds[i-1].Name, ev.err)
+	for !c.Done() {
+		sr, err := c.EvaluateRange(0, c.NumPending())
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Absorb([]*ShardResult{sr}); err != nil {
+			return nil, err
 		}
 	}
-	base := evals[0]
-	engineSteps, candidateSteps := dispatched, fullSteps(evals)
-	beam := reduce(append([]evaluation(nil), evals...), opt.Beam)
-	best := beam[0]
-	nextID := len(initial)
-	evaluated := len(initial)
-	rounds := 0
-
-	seen := make(map[string]bool, len(initial))
-	for _, c := range initial {
-		seen[key(c)] = true
-	}
-	for round := 0; round < opt.Rounds; round++ {
-		var cands []candidate
-		for _, parent := range beam {
-			for _, m := range mutations(opt, parent) {
-				k := key(m)
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				m.id = nextID
-				nextID++
-				cands = append(cands, m)
-			}
-		}
-		if len(cands) == 0 {
-			break
-		}
-		rounds++
-		results, dispatched := evalAll(opt, cands)
-		evaluated += len(results)
-		engineSteps += dispatched
-		candidateSteps += fullSteps(results)
-		for _, ev := range results {
-			if ev.err != nil {
-				return nil, fmt.Errorf("search: candidate %d: %w", ev.cand.id, ev.err)
-			}
-		}
-		beam = reduce(append(beam, results...), opt.Beam)
-		if !beam[0].value.Greater(best.value) {
-			break // no round improvement: greedy fixpoint
-		}
-		best = beam[0]
-	}
-
-	return &Result{
-		Objective:      opt.Objective,
-		Baseline:       base.value,
-		Best:           best.value,
-		Witness:        best.witness,
-		Script:         best.log.Script(),
-		Rates:          best.cand.rates,
-		Schedules:      effectiveScheds(opt, best.cand),
-		Rounds:         rounds,
-		Evaluated:      evaluated,
-		EngineSteps:    engineSteps,
-		CandidateSteps: candidateSteps,
-		Notes:          notes,
-	}, nil
+	return c.Result()
 }
 
 // fullSteps sums the full execution lengths of a batch.

@@ -72,6 +72,27 @@ func resultsEqual(t *testing.T, a, b *Result) {
 			t.Fatalf("rate %d differs: %s vs %s", i, a.Rates[i], b.Rates[i])
 		}
 	}
+	if a.BestCandidate != b.BestCandidate {
+		t.Fatalf("best candidate differs: %d vs %d", a.BestCandidate, b.BestCandidate)
+	}
+	if a.CandidateSteps != b.CandidateSteps {
+		t.Fatalf("candidate steps differ: %d vs %d", a.CandidateSteps, b.CandidateSteps)
+	}
+	if len(a.Schedules) != len(b.Schedules) {
+		t.Fatalf("schedule counts differ: %d vs %d", len(a.Schedules), len(b.Schedules))
+	}
+	for i := range a.Schedules {
+		sa, sb := a.Schedules[i].Rates(), b.Schedules[i].Rates()
+		if len(sa) != len(sb) {
+			t.Fatalf("schedule %d has %d vs %d segments", i, len(sa), len(sb))
+		}
+		for k := range sa {
+			if !sa[k].At.Equal(sb[k].At) || !sa[k].Rate.Equal(sb[k].Rate) {
+				t.Fatalf("schedule %d segment %d differs: %s@%s vs %s@%s",
+					i, k, sa[k].Rate, sa[k].At, sb[k].Rate, sb[k].At)
+			}
+		}
+	}
 }
 
 // TestSearchDeterministicAcrossWorkers: identical Result for a serial
