@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"testing"
 
+	"gcs/internal/clock"
 	"gcs/internal/experiments"
+	"gcs/internal/lowerbound"
 )
 
 func BenchmarkE1Shift(b *testing.B) {
@@ -276,6 +278,83 @@ func BenchmarkRunRecorded(b *testing.B) {
 			b.ReportMetric(skew, "globalSkew")
 		})
 	}
+}
+
+// BenchmarkEngineFork measures the bulk-copy fork path the prefix-cached
+// search leans on: a warmed 17-node gossip line is forked every iteration
+// and the fork alone runs a two-time-unit suffix — the clone cost plus a
+// short burst of suffix events, the per-mutant unit of work in E13. Gated in
+// CI next to EngineStream.
+func BenchmarkEngineFork(b *testing.B) {
+	net, scheds, adv, proto, _, rho := streamBenchConfig(b, 17, 32)
+	eng, err := NewEngine(net, WithProtocol(proto), WithAdversary(adv),
+		WithSchedules(scheds), WithRho(rho))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.RunUntil(R(16)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		fork, err := eng.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fork.RunFor(R(2)); err != nil {
+			b.Fatal(err)
+		}
+		steps = fork.Steps() - eng.Steps()
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+}
+
+// BenchmarkAdaptiveRun measures the E14 adaptive-adversary path: the
+// generalized §2 online scheduler on the two-node d=8 cell, source on the
+// fast rate band, run to the construction's own horizon with an online skew
+// tracker attached. The stateful adversary consults execution state on every
+// delay decision, so this gates the observe-and-decide hot path the scripted
+// workloads never touch. Gated in CI next to the search workloads.
+func BenchmarkAdaptiveRun(b *testing.B) {
+	p := lowerbound.DefaultParams()
+	d := R(8)
+	net, err := TwoNode(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dur := p.Tau().Mul(d)
+	scheds := ConstantSchedules(net.N(), R(1))
+	scheds[0] = clock.Constant(p.RateBandHigh())
+	b.ReportAllocs()
+	var steps uint64
+	var forced float64
+	for i := 0; i < b.N; i++ {
+		adv, err := lowerbound.NewAdaptiveScheduler(net, 0, 1, lowerbound.AutoThreshold(p.Rho, dur))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracker, err := NewSkewTracker(net, scheds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := NewEngine(net, WithProtocol(Gradient(DefaultGradientParams())),
+			WithAdversary(adv), WithSchedules(scheds), WithRho(p.Rho), WithObservers(tracker))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.RunUntil(dur); err != nil {
+			b.Fatal(err)
+		}
+		if err := tracker.Err(); err != nil {
+			b.Fatal(err)
+		}
+		steps = eng.Steps()
+		forced = tracker.Global().Skew.Float64()
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+	b.ReportMetric(forced, "forcedSkew")
 }
 
 // BenchmarkEngineStream measures the same runs through the streaming engine

@@ -31,15 +31,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"gcs/internal/dist"
+	"gcs/internal/obs"
 	"gcs/internal/perf"
 	"gcs/internal/rat"
 	"gcs/internal/search"
@@ -73,9 +78,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gcssearch plan   -spec campaign.json [-bench BENCH_perf.json] [-workers N] [-json]
-  gcssearch worker -listen :9131 [-threads N]
+  gcssearch worker -listen :9131 [-threads N] [-debug]
   gcssearch run    -spec campaign.json [-workers url,url,...] [-shards N]
-                   [-timeout 120s] [-json]`)
+                   [-timeout 120s] [-json] [-serve :9130] [-debug]`)
 }
 
 // loadSpec reads and validates a campaign spec file.
@@ -125,17 +130,47 @@ func cmdPlan(args []string) error {
 	return nil
 }
 
-// cmdWorker serves shard evaluations until killed.
+// cmdWorker serves shard evaluations until interrupted, then drains: SIGINT
+// or SIGTERM stops accepting connections, lets in-flight shards finish, and
+// logs the final metrics snapshot before exiting. A second signal kills the
+// process the usual way.
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("gcssearch worker", flag.ExitOnError)
 	listen := fs.String("listen", ":9131", "address to serve the shard protocol on")
 	threads := fs.Int("threads", 0, "local evaluation pool size (0: the spec's, or GOMAXPROCS)")
+	debug := fs.Bool("debug", false, "mount /debug/pprof profiling endpoints")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w := &dist.Worker{Threads: *threads}
-	fmt.Fprintf(os.Stderr, "gcssearch worker: protocol v%d on %s\n", dist.ProtocolVersion, *listen)
-	return http.ListenAndServe(*listen, w.Handler())
+	reg := obs.NewRegistry()
+	w := &dist.Worker{Threads: *threads, Registry: reg, Debug: *debug}
+	srv := &http.Server{Addr: *listen, Handler: w.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() {
+		err := srv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		serveErr <- err
+	}()
+	fmt.Fprintf(os.Stderr, "gcssearch worker: protocol v%d on %s (metrics on %s)\n",
+		dist.ProtocolVersion, *listen, obs.PathMetrics)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal is immediate
+	fmt.Fprintln(os.Stderr, "gcssearch worker: signal received, draining in-flight shards")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	fmt.Fprintf(os.Stderr, "gcssearch worker: final metrics\n%s", reg.Snapshot().Prometheus())
+	return err
 }
 
 // cellOut is the JSON shape `run -json` emits per cell: the Result with the
@@ -158,8 +193,20 @@ type cellOut struct {
 	Notes          []string             `json:"notes,omitempty"`
 }
 
+// runSummary is the run's final result event: every merged cell plus the
+// coordinator's metrics snapshot. The same shape is published as the last
+// event on /v1/events and, with -json, appended to stdout after the per-cell
+// lines — self-contained on purpose, so a streaming client needs no other
+// line to reconcile counters against results.
+type runSummary struct {
+	Cells     []cellOut    `json:"cells"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+	Metrics   obs.Snapshot `json:"metrics"`
+}
+
 // cmdRun executes a campaign against the fleet (or in-process) and streams
-// per-generation progress.
+// per-generation progress — to stdout always, and to attached HTTP clients
+// on /v1/events when -serve is set.
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("gcssearch run", flag.ExitOnError)
 	specPath := fs.String("spec", "", "campaign spec file (required)")
@@ -167,6 +214,8 @@ func cmdRun(args []string) error {
 	shards := fs.Int("shards", 0, "shards per generation (0: one per worker)")
 	timeout := fs.Duration("timeout", dist.DefaultShardTimeout, "per-shard round-trip timeout")
 	jsonOut := fs.Bool("json", false, "stream progress and results as JSON lines")
+	serve := fs.String("serve", "", "address to serve live /v1/metrics and /v1/events on during the run (empty: off)")
+	debug := fs.Bool("debug", false, "with -serve: mount /debug/pprof on the serve mux")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,13 +236,38 @@ func cmdRun(args []string) error {
 			fmt.Fprintf(os.Stderr, "gcssearch: worker %s unreachable (will degrade): %v\n", u, err)
 		}
 	}
+
+	reg := obs.NewRegistry()
+	var hub *obs.Hub
+	var srv *http.Server
+	if *serve != "" {
+		hub = obs.NewHub(64)
+		mux := http.NewServeMux()
+		mux.Handle(obs.PathMetrics, obs.Handler(reg))
+		mux.Handle(obs.PathEvents, obs.StreamHandler(hub))
+		if *debug {
+			obs.AttachPprof(mux)
+		}
+		srv = &http.Server{Addr: *serve, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "gcssearch: -serve %s: %v\n", *serve, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "gcssearch run: serving %s and %s on %s\n", obs.PathMetrics, obs.PathEvents, *serve)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	coord := &dist.Coordinator{
 		Spec:    spec,
 		Workers: urls,
 		Shards:  *shards,
 		Timeout: *timeout,
+		Metrics: dist.NewCoordinatorMetrics(reg),
 		Progress: func(ev dist.ProgressEvent) {
+			if hub != nil {
+				hub.Publish(obs.Event{Scope: "run", Name: "generation", Data: ev})
+			}
 			if *jsonOut {
 				_ = enc.Encode(ev)
 			} else {
@@ -208,37 +282,54 @@ func cmdRun(args []string) error {
 		return err
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
-	if *jsonOut {
-		for _, cr := range cells {
-			res := cr.Result
-			_ = enc.Encode(cellOut{
-				Cell:           cr.Cell,
-				Baseline:       res.Baseline,
-				Best:           res.Best,
-				BestCandidate:  res.BestCandidate,
-				WitnessI:       res.Witness.I,
-				WitnessJ:       res.Witness.J,
-				WitnessAt:      res.Witness.At,
-				Script:         search.EncodeScript(res.Script),
-				Rates:          res.Rates,
-				Rounds:         res.Rounds,
-				Evaluated:      res.Evaluated,
-				EngineSteps:    res.EngineSteps,
-				CandidateSteps: res.CandidateSteps,
-				Notes:          res.Notes,
-			})
-		}
-		return nil
-	}
-	for i, cr := range cells {
+
+	outs := make([]cellOut, 0, len(cells))
+	for _, cr := range cells {
 		res := cr.Result
-		fmt.Printf("cell %d %s:\n", i, cr.Cell.Label())
-		fmt.Printf("  baseline %s, searched worst case %s (candidate %d)\n", res.Baseline, res.Best, res.BestCandidate)
-		fmt.Printf("  witness pair (%d, %d) at t=%s\n", res.Witness.I, res.Witness.J, res.Witness.At)
+		outs = append(outs, cellOut{
+			Cell:           cr.Cell,
+			Baseline:       res.Baseline,
+			Best:           res.Best,
+			BestCandidate:  res.BestCandidate,
+			WitnessI:       res.Witness.I,
+			WitnessJ:       res.Witness.J,
+			WitnessAt:      res.Witness.At,
+			Script:         search.EncodeScript(res.Script),
+			Rates:          res.Rates,
+			Rounds:         res.Rounds,
+			Evaluated:      res.Evaluated,
+			EngineSteps:    res.EngineSteps,
+			CandidateSteps: res.CandidateSteps,
+			Notes:          res.Notes,
+		})
+	}
+	summary := runSummary{Cells: outs, ElapsedMS: elapsed.Milliseconds(), Metrics: reg.Snapshot()}
+	if hub != nil {
+		hub.Publish(obs.Event{Scope: "run", Name: "result", Data: summary})
+		hub.Close()
+	}
+	if srv != nil {
+		// Shutdown waits for active stream handlers, so attached clients
+		// receive the final result event before the listener goes away.
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(drainCtx)
+	}
+
+	if *jsonOut {
+		for _, out := range outs {
+			_ = enc.Encode(out)
+		}
+		return enc.Encode(summary)
+	}
+	for i, out := range outs {
+		fmt.Printf("cell %d %s:\n", i, out.Cell.Label())
+		fmt.Printf("  baseline %s, searched worst case %s (candidate %d)\n", out.Baseline, out.Best, out.BestCandidate)
+		fmt.Printf("  witness pair (%d, %d) at t=%s\n", out.WitnessI, out.WitnessJ, out.WitnessAt)
 		fmt.Printf("  %d rounds, %d candidates, %d engine steps (%d re-simulated)\n",
-			res.Rounds, res.Evaluated, res.EngineSteps, res.CandidateSteps)
-		fmt.Printf("  script: %d scripted delays\n", len(res.Script))
-		for _, note := range res.Notes {
+			out.Rounds, out.Evaluated, out.EngineSteps, out.CandidateSteps)
+		fmt.Printf("  script: %d scripted delays\n", len(out.Script))
+		for _, note := range out.Notes {
 			fmt.Printf("  note: %s\n", note)
 		}
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	go test -bench 'EngineStream|SearchPrefixCached|SearchEndToEnd' \
+//	go test -bench 'EngineStream|EngineFork|AdaptiveRun|SearchPrefixCached|SearchEndToEnd' \
 //	    -benchmem -count 6 -run '^$' ./... > head.txt     # on the PR head
 //	git checkout <merge-base> && go test ... > base.txt   # same command
 //	perfgate -base base.txt -head head.txt
@@ -27,6 +27,14 @@
 //
 // CI runs this on every main-branch push, so the same medians the PR gate
 // compares accumulate into a browsable trend curve under dev/bench/.
+//
+// With -trend, perfgate alerts on that curve: per benchmark figure, the
+// median of the last -window history entries is compared against the median
+// of the -window entries before them, and the run fails when any figure
+// regressed by more than -max-trend — the slow drift a sequence of
+// under-threshold PRs can smuggle past the pairwise gate:
+//
+//	perfgate -trend -history dev/bench/data.js -window 5 -max-trend 0.10
 package main
 
 import (
@@ -43,20 +51,28 @@ import (
 func main() {
 	base := flag.String("base", "", "bench output of the comparison baseline (required unless -append)")
 	head := flag.String("head", "", "bench output of the candidate revision (required)")
-	match := flag.String("match", "EngineStream|SearchPrefixCached|SearchEndToEnd",
+	match := flag.String("match", "EngineStream|EngineFork|AdaptiveRun|SearchPrefixCached|SearchEndToEnd",
 		"regexp of benchmark names to gate (empty gates everything)")
 	maxNs := flag.Float64("max-ns", 0.30, "tolerated relative ns/op regression")
 	maxAllocs := flag.Float64("max-allocs", 0.20, "tolerated relative allocs/op regression")
 	appendMode := flag.Bool("append", false, "append -head's medians to -history instead of gating")
-	history := flag.String("history", "dev/bench/data.js", "bench-history file to append to (with -append)")
+	trendMode := flag.Bool("trend", false, "alert on -history's windowed trend instead of gating")
+	history := flag.String("history", "dev/bench/data.js", "bench-history file (with -append / -trend)")
 	commit := flag.String("commit", "", "commit id the -head measurements belong to (with -append)")
 	message := flag.String("message", "", "commit subject line (with -append)")
 	repoURL := flag.String("repo-url", "", "repository URL recorded in the history (with -append)")
+	window := flag.Int("window", 5, "history entries per trend window (with -trend)")
+	maxTrend := flag.Float64("max-trend", 0.10, "tolerated relative window-median regression (with -trend)")
 	flag.Parse()
 	var err error
-	if *appendMode {
+	switch {
+	case *appendMode && *trendMode:
+		err = fmt.Errorf("-append and -trend are mutually exclusive")
+	case *appendMode:
 		err = runAppend(*head, *history, *match, *commit, *message, *repoURL, time.Now(), os.Stdout)
-	} else {
+	case *trendMode:
+		err = runTrend(*history, *window, *maxTrend, os.Stdout)
+	default:
 		err = run(*base, *head, *match, *maxNs, *maxAllocs, os.Stdout)
 	}
 	if err != nil {
@@ -102,6 +118,28 @@ func run(basePath, headPath, match string, maxNs, maxAllocs float64, out *os.Fil
 	}
 	if len(deltas) == 0 {
 		return fmt.Errorf("no gated benchmarks present in both inputs — wrong files or bad -match?")
+	}
+	return nil
+}
+
+// runTrend compares the last -window history entries against the window
+// before them and fails on any figure's windowed regression. A history too
+// short for two full windows passes: the alert only ever judges complete
+// windows.
+func runTrend(historyPath string, window int, maxTrend float64, out *os.File) error {
+	raw, err := os.ReadFile(historyPath)
+	if err != nil {
+		return err
+	}
+	h, err := perf.ParseHistory(raw)
+	if err != nil {
+		return err
+	}
+	alerts := perf.Trend(h, perf.HistorySeries, window, maxTrend)
+	fmt.Fprint(out, perf.RenderTrend(alerts, window))
+	if fails := perf.TrendFailures(alerts); len(fails) > 0 {
+		return fmt.Errorf("%d benchmark figure(s) trending past +%.0f%% over the last %d entries",
+			len(fails), maxTrend*100, window)
 	}
 	return nil
 }

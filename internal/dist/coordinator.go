@@ -60,6 +60,10 @@ type Coordinator struct {
 	Progress func(ProgressEvent)
 	// Client is the HTTP client for worker calls (nil: http.DefaultClient).
 	Client *http.Client
+	// Metrics, when non-nil, instruments the run: fleet health, dispatch
+	// latency, and campaign accounting that reconciles exactly with the
+	// merged Results. Purely observational — it never changes scheduling.
+	Metrics *CoordinatorMetrics
 
 	mu   sync.Mutex
 	dead map[string]bool
@@ -101,6 +105,7 @@ func (c *Coordinator) runCell(cell int) (*search.Result, error) {
 		notes = append(notes, "campaign is not shardable (serial-only base adversary): evaluated entirely on the coordinator")
 	}
 	for !campaign.Done() {
+		start := time.Now()
 		var ev ProgressEvent
 		if sharded {
 			ev, err = c.runGenerationSharded(cell, campaign, &notes)
@@ -109,6 +114,9 @@ func (c *Coordinator) runCell(cell int) (*search.Result, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if c.Metrics != nil {
+			c.Metrics.GenerationSeconds.ObserveDuration(time.Since(start))
 		}
 		ev.Cell = cell
 		ev.CellName = c.Spec.Cells[cell].Label()
@@ -121,6 +129,9 @@ func (c *Coordinator) runCell(cell int) (*search.Result, error) {
 	res, err := campaign.Result()
 	if err != nil {
 		return nil, err
+	}
+	if c.Metrics != nil {
+		c.Metrics.Cells.Inc()
 	}
 	res.Notes = append(res.Notes, notes...)
 	return res, nil
@@ -137,6 +148,10 @@ func (c *Coordinator) runGenerationLocal(campaign *search.Campaign) (ProgressEve
 	}
 	if err := campaign.Absorb([]*search.ShardResult{sr}); err != nil {
 		return ProgressEvent{}, err
+	}
+	if c.Metrics != nil {
+		c.Metrics.absorbShards([]*search.ShardResult{sr})
+		c.Metrics.ShardsLocal.Inc()
 	}
 	return ProgressEvent{Round: round, Candidates: n, Shards: 1, Local: 1}, nil
 }
@@ -206,6 +221,11 @@ func (c *Coordinator) runGenerationSharded(cell int, campaign *search.Campaign, 
 	if err := campaign.Absorb(results); err != nil {
 		return ProgressEvent{}, err
 	}
+	if c.Metrics != nil {
+		c.Metrics.absorbShards(results)
+		c.Metrics.ShardsRemote.Add(uint64(ev.Remote))
+		c.Metrics.ShardsLocal.Add(uint64(ev.Local))
+	}
 	return ev, nil
 }
 
@@ -223,9 +243,16 @@ func (c *Coordinator) evaluateShard(cell int, campaign *search.Campaign, gen *se
 			continue
 		}
 		tried++
+		start := time.Now()
 		sr, err := c.callShard(url, cell, gen, lo, hi)
+		if c.Metrics != nil {
+			c.Metrics.DispatchSeconds.ObserveDuration(time.Since(start))
+		}
 		if err == nil {
 			return sr, true, ""
+		}
+		if c.Metrics != nil {
+			c.Metrics.Retries.Inc()
 		}
 		lastErr = fmt.Errorf("worker %s: %w", url, err)
 		c.markDead(url)
@@ -234,6 +261,9 @@ func (c *Coordinator) evaluateShard(cell int, campaign *search.Campaign, gen *se
 		if tried == 0 {
 			lastErr = fmt.Errorf("no surviving workers")
 		}
+	}
+	if c.Metrics != nil {
+		c.Metrics.LocalFallbacks.Inc()
 	}
 	sr, err := campaign.EvaluateRange(lo, hi)
 	if err != nil {
@@ -301,7 +331,12 @@ func (c *Coordinator) isDead(url string) bool {
 func (c *Coordinator) markDead(url string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.dead[url] = true
+	if !c.dead[url] {
+		c.dead[url] = true
+		if c.Metrics != nil {
+			c.Metrics.DeadWorkers.Inc()
+		}
+	}
 }
 
 // Ping probes a worker's liveness and protocol version.

@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"gcs/internal/engine"
+	"gcs/internal/obs"
+	"gcs/internal/search"
+)
+
+// CoordinatorMetrics is the coordinator's instrument set: fleet health
+// (retries, dead workers, local degradation), dispatch latency, and the
+// campaign accounting that must reconcile exactly with the merged Result —
+// EngineSteps.Value() equals the sum of Result.EngineSteps over the
+// coordinator's cells, CandidateSteps likewise, because both are advanced
+// from the very same absorbed ShardResults.
+type CoordinatorMetrics struct {
+	// Cells counts completed cells, Generations merged generations.
+	Cells       *obs.Counter
+	Generations *obs.Counter
+	// GenerationSeconds is the per-generation wall clock (plan + dispatch +
+	// merge), CandidatesPerGen observed via Candidates.
+	GenerationSeconds *obs.Histogram
+	// Candidates counts candidate evaluations absorbed across all shards.
+	Candidates *obs.Counter
+	// EngineSteps / CandidateSteps mirror the campaign accounting: events
+	// dispatched by absorbed shards, and their from-scratch equivalent.
+	EngineSteps    *obs.Counter
+	CandidateSteps *obs.Counter
+	// ShardsRemote / ShardsLocal count where shards actually evaluated.
+	ShardsRemote *obs.Counter
+	ShardsLocal  *obs.Counter
+	// DispatchSeconds is the per-shard remote round-trip latency,
+	// failed attempts included.
+	DispatchSeconds *obs.Histogram
+	// Retries counts shard reassignments (a worker attempt failed and the
+	// shard moved on — to another worker or to the local fallback).
+	Retries *obs.Counter
+	// DeadWorkers counts workers marked dead (at most once per worker per
+	// Run).
+	DeadWorkers *obs.Counter
+	// LocalFallbacks counts shards degraded to coordinator-local evaluation.
+	LocalFallbacks *obs.Counter
+}
+
+// NewCoordinatorMetrics registers the coordinator instrument set in r.
+func NewCoordinatorMetrics(r *obs.Registry) *CoordinatorMetrics {
+	return &CoordinatorMetrics{
+		Cells:             r.Counter("gcs_coord_cells_total", "campaign cells completed"),
+		Generations:       r.Counter("gcs_coord_generations_total", "campaign generations merged"),
+		GenerationSeconds: r.Histogram("gcs_coord_generation_seconds", "wall-clock seconds per merged generation", obs.LatencyBuckets()),
+		Candidates:        r.Counter("gcs_coord_candidates_total", "candidate evaluations absorbed"),
+		EngineSteps:       r.Counter("gcs_coord_engine_steps_total", "engine events dispatched by absorbed shards"),
+		CandidateSteps:    r.Counter("gcs_coord_candidate_steps_total", "from-scratch-equivalent engine events of absorbed shards"),
+		ShardsRemote:      r.Counter("gcs_coord_shards_remote_total", "shards evaluated by workers"),
+		ShardsLocal:       r.Counter("gcs_coord_shards_local_total", "shards evaluated on the coordinator"),
+		DispatchSeconds:   r.Histogram("gcs_coord_shard_dispatch_seconds", "per-shard worker round-trip latency, failures included", obs.LatencyBuckets()),
+		Retries:           r.Counter("gcs_coord_shard_retries_total", "shard reassignments after a failed worker attempt"),
+		DeadWorkers:       r.Counter("gcs_coord_dead_workers_total", "workers marked dead"),
+		LocalFallbacks:    r.Counter("gcs_coord_local_fallbacks_total", "shards degraded to coordinator-local evaluation"),
+	}
+}
+
+// absorbShards records the campaign accounting of one merged generation —
+// the same ShardResults Campaign.Absorb merges, so the counters reconcile
+// exactly with the final Result.
+func (m *CoordinatorMetrics) absorbShards(results []*search.ShardResult) {
+	if m == nil {
+		return
+	}
+	m.Generations.Inc()
+	for _, sr := range results {
+		if sr == nil {
+			continue
+		}
+		m.Candidates.Add(uint64(sr.Evaluated))
+		m.EngineSteps.Add(sr.Dispatched)
+		m.CandidateSteps.Add(sr.FullSteps)
+	}
+}
+
+// WorkerMetrics is the worker's instrument set: request traffic, per-shard
+// evaluation timing, and the evaluation volume this worker actually
+// performed. SearchMetrics/EngineMetrics instrument the worker's evaluation
+// internals (prefix-cache savings, live engine step counters) and land in
+// the same registry.
+type WorkerMetrics struct {
+	// Requests counts HTTP requests by outcome; UnknownPaths the requests
+	// answered with the versioned JSON 404.
+	Requests     *obs.Counter
+	UnknownPaths *obs.Counter
+	// Shards counts shard evaluations served, ShardErrors the ones that
+	// failed (bad spec, unshardable campaign, evaluation error).
+	Shards      *obs.Counter
+	ShardErrors *obs.Counter
+	// ShardSeconds is the per-shard evaluation wall clock.
+	ShardSeconds *obs.Histogram
+	// Candidates counts candidate evaluations served, EngineSteps the engine
+	// events their evaluation dispatched (trunk replays included).
+	Candidates  *obs.Counter
+	EngineSteps *obs.Counter
+
+	// Engine instruments every engine the worker's evaluations construct;
+	// its step counter advances live while a shard is being evaluated.
+	Engine *engine.Metrics
+}
+
+// NewWorkerMetrics registers the worker instrument set in r.
+func NewWorkerMetrics(r *obs.Registry) *WorkerMetrics {
+	return &WorkerMetrics{
+		Requests:     r.Counter("gcs_worker_requests_total", "HTTP requests served"),
+		UnknownPaths: r.Counter("gcs_worker_unknown_paths_total", "requests answered with the versioned JSON 404"),
+		Shards:       r.Counter("gcs_worker_shards_total", "shard evaluations served"),
+		ShardErrors:  r.Counter("gcs_worker_shard_errors_total", "shard evaluations that failed"),
+		ShardSeconds: r.Histogram("gcs_worker_shard_seconds", "per-shard evaluation wall clock", obs.LatencyBuckets()),
+		Candidates:   r.Counter("gcs_worker_candidates_total", "candidate evaluations served"),
+		EngineSteps:  r.Counter("gcs_worker_engine_steps_total", "engine events dispatched by served shards"),
+		Engine:       engine.NewMetrics(r),
+	}
+}
+
+// absorb records one served shard's accounting.
+func (m *WorkerMetrics) absorb(sr *search.ShardResult) {
+	if m == nil || sr == nil {
+		return
+	}
+	m.Shards.Inc()
+	m.Candidates.Add(uint64(sr.Evaluated))
+	m.EngineSteps.Add(sr.Dispatched)
+}

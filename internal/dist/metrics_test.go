@@ -1,0 +1,340 @@
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gcs/internal/obs"
+)
+
+// startInstrumentedWorkers spawns k in-process workers, each with its own
+// registry, and returns the Worker values alongside the servers.
+func startInstrumentedWorkers(t *testing.T, k int) ([]*Worker, []*httptest.Server, []string) {
+	t.Helper()
+	workers := make([]*Worker, k)
+	servers := make([]*httptest.Server, k)
+	urls := make([]string, k)
+	for i := range servers {
+		workers[i] = &Worker{Registry: obs.NewRegistry()}
+		servers[i] = httptest.NewServer(workers[i].Handler())
+		urls[i] = servers[i].URL
+		t.Cleanup(servers[i].Close)
+	}
+	return workers, servers, urls
+}
+
+// scrapeSnapshot reads one /v1/metrics?format=json snapshot.
+func scrapeSnapshot(t *testing.T, url string) obs.Snapshot {
+	t.Helper()
+	res, err := http.Get(url + obs.PathMetrics + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// counterValue reads a counter out of a snapshot (0 when absent — a worker
+// that has served nothing yet has registered nothing).
+func counterValue(snap obs.Snapshot, name string) float64 {
+	if ms, ok := snap.Get(name); ok {
+		return ms.Value
+	}
+	return 0
+}
+
+// TestMetricsReconcileWithResult is the acceptance identity: a healthy
+// 2-worker campaign's coordinator counters equal the merged Result's
+// accounting exactly — same absorbed ShardResults on both sides — and the
+// workers' own step counters sum to the same total.
+func TestMetricsReconcileWithResult(t *testing.T) {
+	spec := e13LongSpec()
+	workers, _, urls := startInstrumentedWorkers(t, 2)
+	reg := obs.NewRegistry()
+	coord := &Coordinator{
+		Spec:    spec,
+		Workers: urls,
+		Timeout: 30 * time.Second,
+		Metrics: NewCoordinatorMetrics(reg),
+	}
+	cells, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cells[0].Result
+	m := coord.Metrics
+	if got := m.EngineSteps.Value(); got != res.EngineSteps {
+		t.Fatalf("coordinator engine-steps counter %d != Result.EngineSteps %d", got, res.EngineSteps)
+	}
+	if got := m.CandidateSteps.Value(); got != res.CandidateSteps {
+		t.Fatalf("coordinator candidate-steps counter %d != Result.CandidateSteps %d", got, res.CandidateSteps)
+	}
+	if got := m.Candidates.Value(); got != uint64(res.Evaluated) {
+		t.Fatalf("coordinator candidates counter %d != Result.Evaluated %d", got, res.Evaluated)
+	}
+	if m.Cells.Value() != 1 {
+		t.Fatalf("cells counter = %d, want 1", m.Cells.Value())
+	}
+	if m.Generations.Value() == 0 || m.GenerationSeconds.Count() != m.Generations.Value() {
+		t.Fatalf("generation timing count %d != generations %d (or zero)",
+			m.GenerationSeconds.Count(), m.Generations.Value())
+	}
+	if m.ShardsLocal.Value() != 0 || m.Retries.Value() != 0 || m.DeadWorkers.Value() != 0 {
+		t.Fatalf("healthy fleet recorded degradation: local=%d retries=%d dead=%d",
+			m.ShardsLocal.Value(), m.Retries.Value(), m.DeadWorkers.Value())
+	}
+	if m.DispatchSeconds.Count() != m.ShardsRemote.Value() {
+		t.Fatalf("dispatch timing count %d != remote shards %d",
+			m.DispatchSeconds.Count(), m.ShardsRemote.Value())
+	}
+
+	// The fleet's own accounting covers the whole campaign: every dispatched
+	// event was dispatched by exactly one worker.
+	var workerSteps, workerCands, workerShards uint64
+	for _, w := range workers {
+		wm := w.Metrics()
+		workerSteps += wm.EngineSteps.Value()
+		workerCands += wm.Candidates.Value()
+		workerShards += wm.Shards.Value()
+		// The live engine counter saw at least the shard accounting: trunks
+		// and from-scratch runs all step through instrumented engines.
+		if wm.Engine.Steps.Value() < wm.EngineSteps.Value() {
+			t.Fatalf("live engine counter %d below absorbed shard steps %d",
+				wm.Engine.Steps.Value(), wm.EngineSteps.Value())
+		}
+	}
+	if workerSteps != res.EngineSteps {
+		t.Fatalf("workers dispatched %d engine steps, Result says %d", workerSteps, res.EngineSteps)
+	}
+	if workerCands != uint64(res.Evaluated) {
+		t.Fatalf("workers evaluated %d candidates, Result says %d", workerCands, res.Evaluated)
+	}
+	if workerShards != m.ShardsRemote.Value() {
+		t.Fatalf("workers served %d shards, coordinator dispatched %d", workerShards, m.ShardsRemote.Value())
+	}
+
+	// The same figures are live on the wire, in both exposition formats.
+	snap := scrapeSnapshot(t, urls[0])
+	if got := counterValue(snap, "gcs_worker_engine_steps_total"); got != float64(workers[0].Metrics().EngineSteps.Value()) {
+		t.Fatalf("scraped engine steps %v != in-process counter %d", got, workers[0].Metrics().EngineSteps.Value())
+	}
+	httpRes, err := http.Get(urls[0] + obs.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	text, err := io.ReadAll(httpRes.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE gcs_worker_shards_total counter", "gcs_worker_shard_seconds_bucket{le="} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("Prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMetricsScrapeMidCampaign scrapes a worker's /v1/metrics continuously
+// while the campaign runs (the -race build makes this a concurrency test of
+// the whole pipeline) and asserts every shard counter reading is monotone.
+func TestMetricsScrapeMidCampaign(t *testing.T) {
+	spec := e13LongSpec()
+	workers, _, urls := startInstrumentedWorkers(t, 2)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	type reading struct{ shards, steps float64 }
+	var readings []reading
+	wg.Add(1)
+	go func() {
+		// No t.Fatal here — FailNow must stay on the test goroutine. A scrape
+		// that errors (transient dial limits under -race) is just skipped.
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			res, err := http.Get(urls[0] + obs.PathMetrics + "?format=json")
+			if err == nil {
+				var snap obs.Snapshot
+				err = json.NewDecoder(res.Body).Decode(&snap)
+				res.Body.Close()
+				if err == nil {
+					readings = append(readings, reading{
+						shards: counterValue(snap, "gcs_worker_shards_total"),
+						steps:  counterValue(snap, "gcs_worker_engine_steps_total"),
+					})
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	coord := &Coordinator{
+		Spec:    spec,
+		Workers: urls,
+		Timeout: 30 * time.Second,
+		Metrics: NewCoordinatorMetrics(obs.NewRegistry()),
+	}
+	cells, err := coord.Run()
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsMatch(t, singleProcess(t, spec), cells[0].Result)
+
+	if len(readings) < 2 {
+		t.Fatalf("only %d mid-campaign scrapes landed", len(readings))
+	}
+	for i := 1; i < len(readings); i++ {
+		if readings[i].shards < readings[i-1].shards || readings[i].steps < readings[i-1].steps {
+			t.Fatalf("scrape %d went backwards: %+v then %+v", i, readings[i-1], readings[i])
+		}
+	}
+	final := workers[0].Metrics()
+	last := readings[len(readings)-1]
+	if last.shards > float64(final.Shards.Value()) || last.steps > float64(final.EngineSteps.Value()) {
+		t.Fatalf("last scrape %+v exceeds final counters shards=%d steps=%d",
+			last, final.Shards.Value(), final.EngineSteps.Value())
+	}
+}
+
+// TestMetricsCountRetriesAndDeadWorkers kills fleet members mid-campaign and
+// asserts the coordinator's health counters record it: a reassigned shard is
+// a retry plus a dead worker; a whole-fleet loss adds local fallbacks. The
+// merged bytes stay identical throughout.
+func TestMetricsCountRetriesAndDeadWorkers(t *testing.T) {
+	spec := e13LongSpec()
+	want := singleProcess(t, spec)
+
+	t.Run("reassigned-to-survivor", func(t *testing.T) {
+		_, servers, urls := startInstrumentedWorkers(t, 2)
+		killed := false
+		coord := &Coordinator{
+			Spec:    spec,
+			Workers: urls,
+			Timeout: 30 * time.Second,
+			Metrics: NewCoordinatorMetrics(obs.NewRegistry()),
+			Progress: func(ev ProgressEvent) {
+				if !killed {
+					servers[0].Close()
+					killed = true
+				}
+			},
+		}
+		cells, err := coord.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsMatch(t, want, cells[0].Result)
+		m := coord.Metrics
+		if m.Retries.Value() == 0 {
+			t.Fatal("reassignment after a worker kill advanced no retry counter")
+		}
+		if m.DeadWorkers.Value() != 1 {
+			t.Fatalf("dead-worker counter = %d, want 1", m.DeadWorkers.Value())
+		}
+		if m.LocalFallbacks.Value() != 0 {
+			t.Fatalf("survivor absorbed the shard, yet %d local fallbacks recorded", m.LocalFallbacks.Value())
+		}
+	})
+
+	t.Run("degrades-to-local", func(t *testing.T) {
+		_, servers, urls := startInstrumentedWorkers(t, 1)
+		killed := false
+		coord := &Coordinator{
+			Spec:    spec,
+			Workers: urls,
+			Timeout: 30 * time.Second,
+			Metrics: NewCoordinatorMetrics(obs.NewRegistry()),
+			Progress: func(ev ProgressEvent) {
+				if !killed {
+					servers[0].Close()
+					killed = true
+				}
+			},
+		}
+		cells, err := coord.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsMatch(t, want, cells[0].Result)
+		m := coord.Metrics
+		if m.Retries.Value() == 0 || m.DeadWorkers.Value() != 1 {
+			t.Fatalf("whole-fleet loss: retries=%d dead=%d, want >0/1", m.Retries.Value(), m.DeadWorkers.Value())
+		}
+		if m.LocalFallbacks.Value() == 0 || m.ShardsLocal.Value() == 0 {
+			t.Fatalf("degradation recorded no local evaluation: fallbacks=%d local=%d",
+				m.LocalFallbacks.Value(), m.ShardsLocal.Value())
+		}
+		// Degradation must not break the reconciliation identity.
+		if m.EngineSteps.Value() != cells[0].Result.EngineSteps {
+			t.Fatalf("degraded run: counter %d != Result.EngineSteps %d",
+				m.EngineSteps.Value(), cells[0].Result.EngineSteps)
+		}
+	})
+}
+
+// TestWorkerUnknownPathJSON404: unknown paths answer with the versioned JSON
+// error shape, not Go's text 404, and the miss is counted.
+func TestWorkerUnknownPathJSON404(t *testing.T) {
+	workers, _, urls := startInstrumentedWorkers(t, 1)
+	res, err := http.Get(urls[0] + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path got HTTP %d, want 404", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("unknown path served Content-Type %q, want JSON", ct)
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(res.Body).Decode(&sr); err != nil {
+		t.Fatalf("unknown-path body is not the versioned JSON error: %v", err)
+	}
+	if sr.Version != ProtocolVersion || sr.Error != "unknown path" {
+		t.Fatalf("unknown-path error = %+v, want version %d, \"unknown path\"", sr, ProtocolVersion)
+	}
+	if got := workers[0].Metrics().UnknownPaths.Value(); got != 1 {
+		t.Fatalf("unknown-path counter = %d, want 1", got)
+	}
+}
+
+// TestWorkerPprofOptIn: /debug/pprof exists only behind Debug.
+func TestWorkerPprofOptIn(t *testing.T) {
+	plain := httptest.NewServer((&Worker{Registry: obs.NewRegistry()}).Handler())
+	defer plain.Close()
+	res, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without -debug: HTTP %d", res.StatusCode)
+	}
+
+	debug := httptest.NewServer((&Worker{Registry: obs.NewRegistry(), Debug: true}).Handler())
+	defer debug.Close()
+	res, err = http.Get(debug.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index with -debug: HTTP %d, want 200", res.StatusCode)
+	}
+}

@@ -11,9 +11,21 @@ import (
 	"testing"
 
 	"gcs/internal/network"
+	"gcs/internal/obs"
 	"gcs/internal/rat"
 	"gcs/internal/trace"
 )
+
+// metricsModes runs a subtest once uninstrumented and once with a full
+// obs-backed Metrics set attached, asserting the same allocation budget in
+// both: instrumentation is pre-registered atomic counters, so enabling it
+// must not cost a single allocation per step.
+func metricsModes(t *testing.T, run func(t *testing.T, met *Metrics)) {
+	t.Run("bare", func(t *testing.T) { run(t, nil) })
+	t.Run("instrumented", func(t *testing.T) {
+		run(t, NewMetrics(obs.NewRegistry()))
+	})
+}
 
 // pulseNode re-arms a timer forever and never sends: the pure engine loop
 // (pop, dispatch, timer push) with no protocol-side allocations at all.
@@ -64,18 +76,23 @@ func stepAllocs(t *testing.T, eng *Engine, runs int) float64 {
 // with no allocations at all once warm — the slab free list absorbs every
 // recycled event.
 func TestStepSteadyStateZeroAlloc(t *testing.T) {
-	net, err := network.TwoNode(rat.FromInt(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := New(net, WithProtocol(pulseProtocol{}), WithRho(rf(1, 2)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	warm(t, eng, 64)
-	if avg := stepAllocs(t, eng, 512); avg != 0 {
-		t.Fatalf("steady-state Step on timer-only workload: %.2f allocs/step, want 0", avg)
-	}
+	metricsModes(t, func(t *testing.T, met *Metrics) {
+		net, err := network.TwoNode(rat.FromInt(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(net, WithProtocol(pulseProtocol{}), WithRho(rf(1, 2)), WithMetrics(met))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm(t, eng, 64)
+		if avg := stepAllocs(t, eng, 512); avg != 0 {
+			t.Fatalf("steady-state Step on timer-only workload: %.2f allocs/step, want 0", avg)
+		}
+		if met != nil && met.Steps.Value() == 0 {
+			t.Fatal("instrumented run advanced no step counter")
+		}
+	})
 }
 
 // TestStepSteadyStateBudgetLine pins the messaging budget on the E13-style
@@ -85,12 +102,14 @@ func TestStepSteadyStateZeroAlloc(t *testing.T) {
 // boxed payload per step on average with no headroom for engine-side
 // garbage.
 func TestStepSteadyStateBudgetLine(t *testing.T) {
-	eng := newTestEngine(t, 5, tickProtocol{period: ri(1)})
-	warm(t, eng, 256)
-	const budget = 1.0
-	if avg := stepAllocs(t, eng, 1024); avg > budget {
-		t.Fatalf("steady-state Step on gossip line: %.2f allocs/step, budget %.1f", avg, budget)
-	}
+	metricsModes(t, func(t *testing.T, met *Metrics) {
+		eng := newTestEngine(t, 5, tickProtocol{period: ri(1)}, WithMetrics(met))
+		warm(t, eng, 256)
+		const budget = 1.0
+		if avg := stepAllocs(t, eng, 1024); avg > budget {
+			t.Fatalf("steady-state Step on gossip line: %.2f allocs/step, budget %.1f", avg, budget)
+		}
+	})
 }
 
 // TestStepSteadyStateBudgetObserved is the same line workload with an
@@ -100,17 +119,20 @@ func TestStepSteadyStateBudgetLine(t *testing.T) {
 // two allocations (rat string + concat). A third MsgString call per message,
 // or any engine-side garbage, breaks the budget.
 func TestStepSteadyStateBudgetObserved(t *testing.T) {
-	var count int
-	eng := newTestEngine(t, 5, tickProtocol{period: ri(1)},
-		WithObservers(Funcs{Action: func(trace.Action) { count++ }}))
-	warm(t, eng, 256)
-	const budget = 2.5
-	if avg := stepAllocs(t, eng, 1024); avg > budget {
-		t.Fatalf("steady-state Step on observed gossip line: %.2f allocs/step, budget %.1f", avg, budget)
-	}
-	if count == 0 {
-		t.Fatal("observer never fired; measurement did not cover the observed path")
-	}
+	metricsModes(t, func(t *testing.T, met *Metrics) {
+		var count int
+		eng := newTestEngine(t, 5, tickProtocol{period: ri(1)},
+			WithObservers(Funcs{Action: func(trace.Action) { count++ }}),
+			WithMetrics(met))
+		warm(t, eng, 256)
+		const budget = 2.5
+		if avg := stepAllocs(t, eng, 1024); avg > budget {
+			t.Fatalf("steady-state Step on observed gossip line: %.2f allocs/step, budget %.1f", avg, budget)
+		}
+		if count == 0 {
+			t.Fatal("observer never fired; measurement did not cover the observed path")
+		}
+	})
 }
 
 // TestForkAllocBudget pins Fork's bulk-copy cost: a fixed number of slab
@@ -122,18 +144,18 @@ func TestStepSteadyStateBudgetObserved(t *testing.T) {
 func TestForkAllocBudget(t *testing.T) {
 	cases := []struct {
 		name   string
-		eng    func(t *testing.T) *Engine
+		eng    func(t *testing.T, met *Metrics) *Engine
 		n      int
 		warmup int
 	}{
 		{
 			name: "two-node-cell",
-			eng: func(t *testing.T) *Engine {
+			eng: func(t *testing.T, met *Metrics) *Engine {
 				net, err := network.TwoNode(rat.FromInt(8))
 				if err != nil {
 					t.Fatal(err)
 				}
-				eng, err := New(net, WithProtocol(tickProtocol{period: ri(1)}), WithRho(rf(1, 2)))
+				eng, err := New(net, WithProtocol(tickProtocol{period: ri(1)}), WithRho(rf(1, 2)), WithMetrics(met))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -144,8 +166,8 @@ func TestForkAllocBudget(t *testing.T) {
 		},
 		{
 			name: "e13-line",
-			eng: func(t *testing.T) *Engine {
-				return newTestEngine(t, 5, tickProtocol{period: ri(1)})
+			eng: func(t *testing.T, met *Metrics) *Engine {
+				return newTestEngine(t, 5, tickProtocol{period: ri(1)}, WithMetrics(met))
 			},
 			n:      5,
 			warmup: 256,
@@ -153,18 +175,23 @@ func TestForkAllocBudget(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			eng := tc.eng(t)
-			warm(t, eng, tc.warmup)
-			budget := float64(12 + 2*tc.n)
-			avg := testing.AllocsPerRun(64, func() {
-				if _, err := eng.Fork(); err != nil {
-					t.Fatal(err)
+			metricsModes(t, func(t *testing.T, met *Metrics) {
+				eng := tc.eng(t, met)
+				warm(t, eng, tc.warmup)
+				budget := float64(12 + 2*tc.n)
+				avg := testing.AllocsPerRun(64, func() {
+					if _, err := eng.Fork(); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg > budget {
+					t.Fatalf("Fork with %d pending events: %.1f allocs, budget %.0f",
+						eng.Pending(), avg, budget)
+				}
+				if met != nil && met.Forks.Value() == 0 {
+					t.Fatal("instrumented Fork advanced no fork counter")
 				}
 			})
-			if avg > budget {
-				t.Fatalf("Fork with %d pending events: %.1f allocs, budget %.0f",
-					eng.Pending(), avg, budget)
-			}
 		})
 	}
 }

@@ -133,6 +133,10 @@ type Engine struct {
 	horizon rat.Rat // time through which the run is complete
 	steps   uint64  // dispatched event count
 	err     error
+
+	// met is the optional instrument set (see metrics.go). Nil-checked on
+	// the hot path: an uninstrumented engine pays one predictable branch.
+	met *Metrics
 }
 
 // Option configures an Engine under construction.
@@ -286,6 +290,9 @@ func (e *Engine) Step() (bool, error) {
 	idx := e.queue.pop()
 	ev := e.queue.slab[idx] // copy out: the slot is reusable during dispatch
 	e.queue.release(idx)
+	if e.met != nil {
+		e.met.Recycled.Inc()
+	}
 	e.dispatch(&ev)
 	if ev.time.Greater(e.horizon) {
 		e.horizon = ev.time
@@ -313,6 +320,9 @@ func (e *Engine) RunUntil(t rat.Rat) error {
 		idx := e.queue.pop()
 		ev := e.queue.slab[idx] // copy out: the slot is reusable during dispatch
 		e.queue.release(idx)
+		if e.met != nil {
+			e.met.Recycled.Inc()
+		}
 		e.dispatch(&ev)
 		if e.err != nil {
 			return e.err
@@ -365,6 +375,9 @@ func (e *Engine) observed() bool { return e.advObs != nil || len(e.obs) > 0 }
 func (e *Engine) dispatch(ev *event) {
 	e.now = ev.time
 	e.steps++
+	if e.met != nil {
+		e.met.Steps.Inc()
+	}
 	rt := &e.runtimes[ev.node]
 	hw := e.scheds[ev.node].HW(ev.time)
 	rt.hwNow = hw
@@ -420,7 +433,7 @@ func (e *Engine) Execution(rec *trace.Recorder) (*trace.Execution, error) {
 	hardware := make([]*piecewise.PLF, n)
 	for i := 0; i < n; i++ {
 		hardware[i] = e.scheds[i].HWFunc()
-		plf, err := compileLogicalCached(e.scheds[i], e.runtimes[i].decls, e.horizon)
+		plf, err := compileLogicalCached(e.scheds[i], e.runtimes[i].decls, e.horizon, e.met)
 		if err != nil {
 			return nil, fmt.Errorf("engine: node %d logical clock: %w", i, err)
 		}
@@ -511,15 +524,22 @@ func declsFingerprint(decls []trace.Decl) string {
 
 // compileLogicalCached is compileLogical behind the memo: hits return a
 // clone of the cached PLF (callers own their result and may mutate it),
-// misses compile, store a private clone, and return the original.
-func compileLogicalCached(sched *clock.Schedule, decls []trace.Decl, horizon rat.Rat) (*piecewise.PLF, error) {
+// misses compile, store a private clone, and return the original. met, when
+// non-nil, has its clock-cache hit/miss counters advanced.
+func compileLogicalCached(sched *clock.Schedule, decls []trace.Decl, horizon rat.Rat, met *Metrics) (*piecewise.PLF, error) {
 	key := logicalKey{sched: sched, decls: declsFingerprint(decls), horizon: horizon.String()}
 	logicalCache.Lock()
 	if plf, ok := logicalCache.m[key]; ok {
 		logicalCache.Unlock()
+		if met != nil {
+			met.ClockCacheHits.Inc()
+		}
 		return plf.Clone(), nil
 	}
 	logicalCache.Unlock()
+	if met != nil {
+		met.ClockCacheMisses.Inc()
+	}
 	plf, err := compileLogical(sched, decls, horizon)
 	if err != nil {
 		return nil, err

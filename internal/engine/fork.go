@@ -57,6 +57,10 @@ func (e *Engine) Fork() (*Engine, error) {
 		now:     e.now,
 		horizon: e.horizon,
 		steps:   e.steps,
+		met:     e.met, // forks aggregate into the parent's instruments
+	}
+	if e.met != nil {
+		e.met.Forks.Inc()
 	}
 	f.bindAdversary(adv)
 	f.queue.cloneFrom(&e.queue)

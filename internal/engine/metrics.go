@@ -1,0 +1,44 @@
+package engine
+
+import "gcs/internal/obs"
+
+// Metrics is the engine's instrument set: pre-registered obs counters the
+// hot path increments with single atomic adds — no allocation, no lock, no
+// name lookup — so an instrumented engine stays inside the zero-alloc
+// budgets pinned in alloc_test.go. One Metrics value may be shared by many
+// engines (a worker's whole evaluation fleet aggregates into one registry);
+// forks inherit their parent's Metrics.
+type Metrics struct {
+	// Steps counts dispatched events (one per Step/RunUntil dispatch).
+	Steps *obs.Counter
+	// Recycled counts event slab slots returned to the free list — in steady
+	// state it tracks Steps exactly; a divergence means events are being
+	// dropped without dispatch or the slab is growing.
+	Recycled *obs.Counter
+	// Forks counts Engine.Fork calls.
+	Forks *obs.Counter
+	// ClockCacheHits / ClockCacheMisses count compiled-logical-clock memo
+	// outcomes during Execution.
+	ClockCacheHits   *obs.Counter
+	ClockCacheMisses *obs.Counter
+}
+
+// NewMetrics registers the engine instrument set in r. Repeated calls with
+// the same registry return counters backed by the same instruments.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Steps:            r.Counter("gcs_engine_steps_total", "engine events dispatched"),
+		Recycled:         r.Counter("gcs_engine_events_recycled_total", "event slab slots recycled through the free list"),
+		Forks:            r.Counter("gcs_engine_forks_total", "engine forks taken"),
+		ClockCacheHits:   r.Counter("gcs_engine_clock_cache_hits_total", "compiled logical-clock cache hits"),
+		ClockCacheMisses: r.Counter("gcs_engine_clock_cache_misses_total", "compiled logical-clock cache misses"),
+	}
+}
+
+// WithMetrics attaches an instrument set to an Engine under construction.
+// nil detaches (the default): an uninstrumented engine pays not even the
+// atomic adds.
+func WithMetrics(m *Metrics) Option { return func(e *Engine) { e.met = m } }
+
+// Metrics returns the engine's instrument set (nil when uninstrumented).
+func (e *Engine) Metrics() *Metrics { return e.met }

@@ -18,7 +18,9 @@
 //     whose ns/op or allocs/op regressed past its threshold.
 //
 // The gated workloads mirror the benchmarks named in the CI workflow —
-// BenchmarkEngineStream (the E12 streaming engine workload) and
+// BenchmarkEngineStream (the E12 streaming engine workload),
+// BenchmarkEngineFork (the fork-and-suffix unit of prefix-cached search),
+// BenchmarkAdaptiveRun (the E14 adaptive-adversary path), and
 // BenchmarkSearchPrefixCached / BenchmarkSearchEndToEnd (the E13 search
 // workload) — so a local `gcsbench -perf` and the CI gate watch the same hot
 // paths.
@@ -33,6 +35,7 @@ import (
 	"gcs/internal/clock"
 	"gcs/internal/core"
 	"gcs/internal/engine"
+	"gcs/internal/lowerbound"
 	"gcs/internal/network"
 	"gcs/internal/rat"
 	"gcs/internal/search"
@@ -63,8 +66,9 @@ type Measurement struct {
 }
 
 // Workloads returns the gated scenarios: the E12 streaming-engine workload
-// at two durations and the E13 search workload through both evaluation
-// paths.
+// at two durations, the fork-and-suffix unit of prefix-cached evaluation,
+// the E14 adaptive-adversary run, and the E13 search workload through both
+// evaluation paths.
 func Workloads() ([]Workload, error) {
 	ws := []Workload{}
 	for _, dur := range []int64{32, 96} {
@@ -74,6 +78,15 @@ func Workloads() ([]Workload, error) {
 		}
 		ws = append(ws, w)
 	}
+	fork, err := engineForkWorkload()
+	if err != nil {
+		return nil, err
+	}
+	adaptive, err := adaptiveRunWorkload()
+	if err != nil {
+		return nil, err
+	}
+	ws = append(ws, fork, adaptive)
 	cached, err := searchWorkload(false)
 	if err != nil {
 		return nil, err
@@ -119,6 +132,104 @@ func engineStreamWorkload(dur int64) (Workload, error) {
 					b.Fatal(err)
 				}
 				if err := eng.RunUntil(duration); err != nil {
+					b.Fatal(err)
+				}
+				steps = eng.Steps()
+			}
+			b.ReportMetric(float64(steps), stepsUnit)
+		},
+	}, nil
+}
+
+// engineForkWorkload mirrors BenchmarkEngineFork: fork a warmed 17-node
+// gossip line and run a two-time-unit suffix on the fork — the per-mutant
+// unit of work in prefix-cached search.
+func engineForkWorkload() (Workload, error) {
+	net, err := network.Line(17)
+	if err != nil {
+		return Workload{}, err
+	}
+	scheds, err := clock.Diverse(17, rat.FromInt(1), rat.MustFrac(5, 4), 4, 7)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name: "EngineFork/line17",
+		Bench: func(b *testing.B) {
+			eng, err := engine.New(net,
+				engine.WithProtocol(algorithms.MaxGossip(rat.FromInt(1))),
+				engine.WithAdversary(engine.HashAdversary{Seed: 7, Denom: 8}),
+				engine.WithSchedules(scheds),
+				engine.WithRho(rat.MustFrac(1, 2)),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.RunUntil(rat.FromInt(16)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var steps uint64
+			for i := 0; i < b.N; i++ {
+				fork, err := eng.Fork()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fork.RunFor(rat.FromInt(2)); err != nil {
+					b.Fatal(err)
+				}
+				steps = fork.Steps() - eng.Steps()
+			}
+			b.ReportMetric(float64(steps), stepsUnit)
+		},
+	}, nil
+}
+
+// adaptiveRunWorkload mirrors BenchmarkAdaptiveRun: the generalized §2
+// online scheduler on the E14 two-node d=8 cell, gating the stateful
+// observe-and-decide adversary path.
+func adaptiveRunWorkload() (Workload, error) {
+	p := lowerbound.DefaultParams()
+	d := rat.FromInt(8)
+	net, err := network.TwoNode(d)
+	if err != nil {
+		return Workload{}, err
+	}
+	dur := p.Tau().Mul(d)
+	scheds := make([]*clock.Schedule, net.N())
+	for i := range scheds {
+		scheds[i] = clock.Constant(rat.FromInt(1))
+	}
+	scheds[0] = clock.Constant(p.RateBandHigh())
+	return Workload{
+		Name: "AdaptiveRun/E14",
+		Bench: func(b *testing.B) {
+			b.ReportAllocs()
+			var steps uint64
+			for i := 0; i < b.N; i++ {
+				adv, err := lowerbound.NewAdaptiveScheduler(net, 0, 1, lowerbound.AutoThreshold(p.Rho, dur))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tracker, err := core.NewSkewTracker(net, scheds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := engine.New(net,
+					engine.WithProtocol(algorithms.Gradient(algorithms.DefaultGradientParams())),
+					engine.WithAdversary(adv),
+					engine.WithSchedules(scheds),
+					engine.WithRho(p.Rho),
+					engine.WithObservers(tracker),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.RunUntil(dur); err != nil {
+					b.Fatal(err)
+				}
+				if err := tracker.Err(); err != nil {
 					b.Fatal(err)
 				}
 				steps = eng.Steps()

@@ -1,0 +1,111 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trend alerting over the bench history: the PR-time gate compares two
+// commits and so can be walked past by a sequence of under-threshold
+// regressions. The trend alert watches the curve instead — per benchmark
+// figure, the median of the last Window history entries against the median
+// of the Window entries before them — and fails when the recent window
+// regressed past the tolerance. Medians on both sides mean one noisy commit
+// can neither raise an alert nor mask one.
+
+// TrendAlert is one benchmark figure's windowed comparison.
+type TrendAlert struct {
+	// Name and Unit identify the figure ("BenchmarkEngineStream-8", "ns/op").
+	Name string
+	Unit string
+	// Prior and Recent are the window medians; Delta is the relative change
+	// (Recent/Prior − 1, positive = slower/more).
+	Prior  float64
+	Recent float64
+	Delta  float64
+	// Points is how many history entries carry this figure.
+	Points int
+	// Exceeded marks Delta > the tolerance the trend ran with.
+	Exceeded bool
+}
+
+// Trend compares the last window entries of a history series against the
+// window before them, per benchmark figure. Figures appearing in fewer than
+// 2×window entries are skipped — no alert can be meaningful before both
+// windows are full. All gated units are lower-is-better, so only increases
+// regress.
+func Trend(h *History, series string, window int, maxRegress float64) []TrendAlert {
+	if window < 1 {
+		window = 1
+	}
+	entries := h.Entries[series]
+	points := make(map[string][]float64) // "name\x00unit" → values in entry order
+	var order []string
+	for _, e := range entries {
+		for _, b := range e.Benches {
+			key := b.Name + "\x00" + b.Unit
+			if _, ok := points[key]; !ok {
+				order = append(order, key)
+			}
+			points[key] = append(points[key], b.Value)
+		}
+	}
+	sort.Strings(order)
+	var out []TrendAlert
+	for _, key := range order {
+		vals := points[key]
+		if len(vals) < 2*window {
+			continue
+		}
+		name, unit, _ := strings.Cut(key, "\x00")
+		recent := medianFloat(vals[len(vals)-window:])
+		prior := medianFloat(vals[len(vals)-2*window : len(vals)-window])
+		a := TrendAlert{Name: name, Unit: unit, Prior: prior, Recent: recent, Points: len(vals)}
+		if prior > 0 {
+			a.Delta = recent/prior - 1
+			a.Exceeded = a.Delta > maxRegress
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// TrendFailures filters the exceeded alerts.
+func TrendFailures(alerts []TrendAlert) []TrendAlert {
+	var out []TrendAlert
+	for _, a := range alerts {
+		if a.Exceeded {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RenderTrend formats trend alerts as an aligned report.
+func RenderTrend(alerts []TrendAlert, window int) string {
+	if len(alerts) == 0 {
+		return fmt.Sprintf("perf trend: no figure has %d history entries yet — nothing to compare\n", 2*window)
+	}
+	var b strings.Builder
+	for _, a := range alerts {
+		flag := "ok"
+		if a.Exceeded {
+			flag = "TREND REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-44s %-10s last %d: %12.2f  prior %d: %12.2f  %+7.2f%%  %s\n",
+			a.Name, a.Unit, window, a.Recent, window, a.Prior, a.Delta*100, flag)
+	}
+	return b.String()
+}
+
+// medianFloat is medianOf for a bare value series.
+func medianFloat(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// trendHistory builds a history whose single figure takes the given values,
+// one entry per value, in order.
+func trendHistory(name, unit string, vals ...float64) *History {
+	h := &History{Entries: map[string][]HistoryEntry{}}
+	for i, v := range vals {
+		h.Append(HistorySeries, HistoryEntry{
+			Date:    int64(i),
+			Benches: []HistoryBench{{Name: name, Value: v, Unit: unit}},
+		})
+	}
+	return h
+}
+
+func TestTrendFlagsWindowedRegression(t *testing.T) {
+	h := trendHistory("BenchmarkX", "ns/op", 100, 100, 100, 100, 100, 200, 200, 200, 200, 200)
+	alerts := Trend(h, HistorySeries, 5, 0.10)
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if !a.Exceeded {
+		t.Fatalf("100→200 window medians not flagged: %+v", a)
+	}
+	if a.Prior != 100 || a.Recent != 200 || a.Delta != 1.0 {
+		t.Fatalf("prior=%v recent=%v delta=%v, want 100/200/1.0", a.Prior, a.Recent, a.Delta)
+	}
+	if fails := TrendFailures(alerts); len(fails) != 1 {
+		t.Fatalf("TrendFailures returned %d, want 1", len(fails))
+	}
+}
+
+func TestTrendMedianAbsorbsOneSpike(t *testing.T) {
+	// One noisy commit in the recent window must not raise an alert: the
+	// window median ignores it.
+	h := trendHistory("BenchmarkX", "ns/op", 100, 100, 100, 100, 100, 100, 100, 500, 100, 100)
+	alerts := Trend(h, HistorySeries, 5, 0.10)
+	if len(alerts) != 1 || alerts[0].Exceeded {
+		t.Fatalf("single spike tripped the trend alert: %+v", alerts)
+	}
+	// And symmetrically: one fast outlier must not mask a real regression.
+	h = trendHistory("BenchmarkX", "ns/op", 100, 100, 100, 100, 100, 200, 200, 50, 200, 200)
+	alerts = Trend(h, HistorySeries, 5, 0.10)
+	if len(alerts) != 1 || !alerts[0].Exceeded {
+		t.Fatalf("fast outlier masked a windowed regression: %+v", alerts)
+	}
+}
+
+func TestTrendSkipsShortSeries(t *testing.T) {
+	h := trendHistory("BenchmarkX", "ns/op", 100, 100, 100, 200, 200, 200, 200, 200, 200)
+	if alerts := Trend(h, HistorySeries, 5, 0.10); len(alerts) != 0 {
+		t.Fatalf("9 entries with window 5 produced alerts: %+v", alerts)
+	}
+	out := RenderTrend(nil, 5)
+	if !strings.Contains(out, "nothing to compare") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestTrendSeparatesUnits(t *testing.T) {
+	// The same benchmark's ns/op and allocs/op figures are independent
+	// series: an allocs regression alerts even when ns/op is flat.
+	h := &History{Entries: map[string][]HistoryEntry{}}
+	for i := 0; i < 4; i++ {
+		allocs := 10.0
+		if i >= 2 {
+			allocs = 20
+		}
+		h.Append(HistorySeries, HistoryEntry{
+			Date: int64(i),
+			Benches: []HistoryBench{
+				{Name: "BenchmarkX", Value: 100, Unit: "ns/op"},
+				{Name: "BenchmarkX - allocs", Value: allocs, Unit: "allocs/op"},
+			},
+		})
+	}
+	alerts := Trend(h, HistorySeries, 2, 0.10)
+	if len(alerts) != 2 {
+		t.Fatalf("got %d alerts, want 2", len(alerts))
+	}
+	byName := map[string]TrendAlert{}
+	for _, a := range alerts {
+		byName[a.Name+" "+a.Unit] = a
+	}
+	if byName["BenchmarkX ns/op"].Exceeded {
+		t.Fatal("flat ns/op flagged")
+	}
+	if !byName["BenchmarkX - allocs allocs/op"].Exceeded {
+		t.Fatal("doubled allocs/op not flagged")
+	}
+	if !strings.Contains(RenderTrend(alerts, 2), "TREND REGRESSION") {
+		t.Fatal("render missing the regression flag")
+	}
+}

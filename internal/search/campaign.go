@@ -425,6 +425,13 @@ func (c *Campaign) Absorb(results []*ShardResult) error {
 		c.candidateSteps += sr.FullSteps
 	}
 	c.evaluated += len(c.pending)
+	if m := c.opt.Metrics; m != nil {
+		m.Generations.Inc()
+		m.Candidates.Add(uint64(len(c.pending)))
+		for _, sr := range results {
+			m.absorbShard(sr)
+		}
+	}
 
 	if err := c.firstError(results); err != nil {
 		c.done = true

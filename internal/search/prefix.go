@@ -142,6 +142,7 @@ func runTrunk(opt Options, cands []candidate, idxs []int, plog *DecisionLog, res
 		engine.WithSchedules(scheds),
 		engine.WithRho(opt.Rho),
 		engine.WithObservers(skew, log),
+		engine.WithMetrics(opt.EngineMetrics),
 	)
 	if err != nil {
 		failFrom(0, err)
@@ -231,6 +232,7 @@ func evaluate(opt Options, cand candidate) evaluation {
 		engine.WithSchedules(scheds),
 		engine.WithRho(opt.Rho),
 		engine.WithObservers(skew, log),
+		engine.WithMetrics(opt.EngineMetrics),
 	)
 	if err != nil {
 		return evaluation{cand: cand, err: err}

@@ -145,6 +145,15 @@ type Options struct {
 	// the flag exists for benchmarking and for the equivalence tests.
 	DisablePrefixCache bool
 
+	// Metrics, when non-nil, receives campaign-level accounting (generations
+	// merged, candidates evaluated, engine steps, prefix-cache savings) as
+	// shard results are absorbed. EngineMetrics, when non-nil, instruments
+	// every engine this search constructs (trunks, forks, from-scratch
+	// evaluations) so its step counters advance live during evaluation, not
+	// just at merge time. Neither affects the search outcome in any way.
+	Metrics       *Metrics
+	EngineMetrics *engine.Metrics
+
 	// serialEval forces in-order, single-threaded from-scratch evaluation.
 	// normalize sets it when Base is stateful but not cloneable: the one
 	// shared Base instance must then see candidate runs one at a time, in a
