@@ -311,6 +311,43 @@ func BenchmarkEngineFork(b *testing.B) {
 	b.ReportMetric(float64(steps), "steps/op")
 }
 
+// BenchmarkEngineForkGradient measures the fork operation alone where
+// per-node state is heaviest: a wide warmed gradient line, where every node
+// carries a neighbor-estimate table. The tables are shared copy-on-write
+// across CloneState and the protocol slab-allocates the whole clone set, so
+// allocs/op here is O(1) in network width and degree — this gates that
+// discipline (a regression to eager per-node deep copies multiplies it by
+// the node count). Gated in CI next to EngineFork, which covers the
+// fork-plus-suffix per-mutant unit.
+func BenchmarkEngineForkGradient(b *testing.B) {
+	const n = 33
+	net, err := Line(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheds, err := DiverseSchedules(n, R(1), Frac(5, 4), 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(net, WithProtocol(Gradient(DefaultGradientParams())),
+		WithAdversary(HashAdversary{Seed: 7, Denom: 8}),
+		WithSchedules(scheds), WithRho(Frac(1, 2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.RunUntil(R(16)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Fork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.Steps()), "steps/op")
+}
+
 // BenchmarkAdaptiveRun measures the E14 adaptive-adversary path: the
 // generalized §2 online scheduler on the two-node d=8 cell, source on the
 // fast rate band, run to the construction's own horizon with an online skew

@@ -51,7 +51,7 @@ import (
 func main() {
 	base := flag.String("base", "", "bench output of the comparison baseline (required unless -append)")
 	head := flag.String("head", "", "bench output of the candidate revision (required)")
-	match := flag.String("match", "EngineStream|EngineFork|AdaptiveRun|SearchPrefixCached|SearchEndToEnd",
+	match := flag.String("match", "EngineStream|EngineFork|EngineForkGradient|AdaptiveRun|SearchPrefixCached|SearchEndToEnd",
 		"regexp of benchmark names to gate (empty gates everything)")
 	maxNs := flag.Float64("max-ns", 0.30, "tolerated relative ns/op regression")
 	maxAllocs := flag.Float64("max-allocs", 0.20, "tolerated relative allocs/op regression")

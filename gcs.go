@@ -229,6 +229,17 @@ type (
 	Decl = trace.Decl
 	// Recorder is the full-trace observer backing the batch Run path.
 	Recorder = trace.Recorder
+	// Lane selects the engine's arithmetic lane (LaneAuto detects the
+	// fixed-point tick grid; LaneRat forces exact rationals everywhere).
+	// Results are byte-identical either way — the lane is an execution
+	// strategy, never a semantics knob.
+	Lane = engine.Lane
+)
+
+// Arithmetic lanes.
+const (
+	LaneAuto = engine.LaneAuto
+	LaneRat  = engine.LaneRat
 )
 
 // Engine constructors and options.
@@ -239,7 +250,14 @@ var (
 	WithSchedules = engine.WithSchedules
 	WithRho       = engine.WithRho
 	WithObservers = engine.WithObservers
+	WithLane      = engine.WithLane
 	NewRecorder   = trace.NewRecorder
+
+	// SetDefaultLane / DefaultLane flip the process-wide lane for engines
+	// built with LaneAuto — the differential-test hook for forcing whole
+	// subsystems (search, campaigns) onto the rat lane.
+	SetDefaultLane = engine.SetDefaultLane
+	DefaultLane    = engine.DefaultLane
 )
 
 // Run executes a configuration and returns its trace: a compatibility

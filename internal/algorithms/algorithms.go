@@ -112,12 +112,13 @@ func (p maxProto) Name() string {
 
 func (p maxProto) NewNode(int) sim.Node { return &maxNode{period: p.period, flood: p.flood} }
 
-// CloneState implements sim.Protocol.
-func (p maxProto) CloneState(n sim.Node) sim.Node {
-	c := *n.(*maxNode)
-	return &c
-}
+// CloneState implements sim.Protocol. A maxNode carries only immutable
+// configuration (its mutable state — the logical clock — lives in the
+// Runtime), so forks share the automaton itself.
+func (p maxProto) CloneState(n sim.Node) sim.Node { return n }
 
+// maxNode holds configuration only; its callbacks never write a field.
+// CloneState shares it across forks on that basis.
 type maxNode struct {
 	period rat.Rat
 	flood  bool
@@ -193,37 +194,33 @@ func Gradient(params GradientParams) sim.Protocol { return gradientProto{params:
 func (p gradientProto) Name() string { return "gradient" }
 
 func (p gradientProto) NewNode(int) sim.Node {
-	return &gradientNode{params: p.params, est: map[int]estimate{}}
+	return &gradientNode{params: p.params}
 }
 
-// CloneState implements sim.Protocol: the neighbor-estimate map is the
-// node's mutable state and must not be shared.
+// CloneState implements sim.Protocol: the neighbor-estimate table is the
+// node's mutable state; it is shared copy-on-write (see estSet.clone), so
+// cloning is a single struct copy regardless of degree.
 func (p gradientProto) CloneState(n sim.Node) sim.Node {
 	g := n.(*gradientNode)
-	c := &gradientNode{params: g.params, est: make(map[int]estimate, len(g.est)), fast: g.fast}
-	for k, v := range g.est {
-		c.est[k] = v
+	return &gradientNode{params: g.params, est: g.est.clone(), fast: g.fast}
+}
+
+// CloneStates implements sim.BulkCloneProtocol: all clones come out of one
+// slab, so a whole-network fork costs two allocations however wide the net.
+func (p gradientProto) CloneStates(nodes []sim.Node) []sim.Node {
+	slab := make([]gradientNode, len(nodes))
+	out := make([]sim.Node, len(nodes))
+	for i, n := range nodes {
+		g := n.(*gradientNode)
+		slab[i] = gradientNode{params: g.params, est: g.est.clone(), fast: g.fast}
+		out[i] = &slab[i]
 	}
-	return c
-}
-
-// estimate is the last value heard from a neighbor, anchored at the local
-// hardware reading when it arrived.
-type estimate struct {
-	val  rat.Rat
-	atHW rat.Rat
-}
-
-// value extrapolates the estimate to the current hardware reading, assuming
-// the neighbor's logical clock advances at least at the local hardware rate.
-// This is a conservative heuristic, not a proof device.
-func (e estimate) value(hwNow rat.Rat) rat.Rat {
-	return e.val.Add(hwNow.Sub(e.atHW))
+	return out
 }
 
 type gradientNode struct {
 	params GradientParams
-	est    map[int]estimate
+	est    estSet
 	fast   bool
 }
 
@@ -245,18 +242,21 @@ func (n *gradientNode) OnMessage(rt *sim.Runtime, from int, msg sim.Message) {
 	if !ok {
 		return
 	}
-	n.est[from] = estimate{val: m.Val, atHW: rt.HW()}
+	n.est.init(rt)
+	n.est.store(from, nbrEst{val: m.Val, atHW: rt.HW(), set: true})
 	n.adjust(rt)
 }
 
 // adjust recomputes the rate mode from the freshest neighbor estimates.
+// Slots follow the runtime's neighbor order, so the sweep sees estimates in
+// the same order the map version's per-neighbor lookups did.
 func (n *gradientNode) adjust(rt *sim.Runtime) {
 	l := rt.Logical()
 	hw := rt.HW()
 	var maxAhead rat.Rat
-	for _, j := range rt.Neighbors() {
-		e, ok := n.est[j]
-		if !ok {
+	for i := range n.est.slots {
+		e := &n.est.slots[i]
+		if !e.set {
 			continue
 		}
 		if ahead := e.value(hw).Sub(l); ahead.Greater(maxAhead) {

@@ -7,34 +7,51 @@ import (
 	"gcs/internal/sim"
 )
 
-// TestCloneStateIndependence: every protocol's CloneState must deep-copy
-// mutable node state — mutating the original after cloning must never leak
-// into the clone. The map-carrying protocols (gradient, llw) are the ones
-// that would break silently under a shallow copy.
+// TestCloneStateIndependence: every protocol's CloneState must isolate
+// mutable node state — mutating either side after cloning must never leak
+// into the other. The estimate-carrying protocols (gradient, llw) share
+// their slot pages copy-on-write, so the independence under test here is
+// exactly the copy-on-first-write discipline in estSet.
 func TestCloneStateIndependence(t *testing.T) {
 	one := rat.FromInt(1)
+	five := rat.FromInt(5)
 
 	g := Gradient(DefaultGradientParams())
 	gn := g.NewNode(0).(*gradientNode)
-	gn.est[1] = estimate{val: one, atHW: one}
+	gn.est = estSet{nbrs: []int{1, 2}, slots: make([]nbrEst, 2), owned: true}
+	gn.est.store(1, nbrEst{val: one, atHW: one, set: true})
 	gn.fast = true
 	gc := g.CloneState(gn).(*gradientNode)
-	if !gc.fast || len(gc.est) != 1 || !gc.est[1].val.Equal(one) {
+	if !gc.fast || !gc.est.slots[0].set || !gc.est.slots[0].val.Equal(one) {
 		t.Fatalf("gradient clone lost state: %+v", gc)
 	}
-	gn.est[2] = estimate{val: one, atHW: one}
-	gn.est[1] = estimate{val: rat.FromInt(5), atHW: one}
-	if len(gc.est) != 1 || !gc.est[1].val.Equal(one) {
-		t.Fatalf("gradient clone shares the estimate map: %+v", gc.est)
+	if gn.est.owned || gc.est.owned {
+		t.Fatal("gradient clone left a side owning the shared page")
+	}
+	// Writes on the original after cloning must not leak into the clone.
+	gn.est.store(2, nbrEst{val: one, atHW: one, set: true})
+	gn.est.store(1, nbrEst{val: five, atHW: one, set: true})
+	if gc.est.slots[1].set || !gc.est.slots[0].val.Equal(one) {
+		t.Fatalf("gradient clone shares the estimate page: %+v", gc.est.slots)
+	}
+	// ... and writes on the clone must not leak back into the original.
+	gc.est.store(1, nbrEst{val: rat.FromInt(9), atHW: one, set: true})
+	if !gn.est.slots[0].val.Equal(five) {
+		t.Fatalf("gradient original sees the clone's write: %+v", gn.est.slots)
 	}
 
 	l := LLW(DefaultLLWParams())
 	ln := l.NewNode(0).(*llwNode)
-	ln.est[1] = estimate{val: one, atHW: one}
+	ln.est = estSet{nbrs: []int{1, 2}, slots: make([]nbrEst, 2), owned: true}
+	ln.est.store(1, nbrEst{val: one, atHW: one, set: true})
 	lc := l.CloneState(ln).(*llwNode)
-	ln.est[2] = estimate{val: one, atHW: one}
-	if len(lc.est) != 1 {
-		t.Fatalf("llw clone shares the estimate map: %+v", lc.est)
+	ln.est.store(2, nbrEst{val: one, atHW: one, set: true})
+	if lc.est.slots[1].set || !lc.est.slots[0].val.Equal(one) {
+		t.Fatalf("llw clone shares the estimate page: %+v", lc.est.slots)
+	}
+	lc.est.store(1, nbrEst{val: five, atHW: one, set: true})
+	if !ln.est.slots[0].val.Equal(one) {
+		t.Fatalf("llw original sees the clone's write: %+v", ln.est.slots)
 	}
 
 	r := RBS(one, 0)

@@ -49,23 +49,33 @@ type llwProto struct {
 func (p llwProto) Name() string { return "llw" }
 
 func (p llwProto) NewNode(int) sim.Node {
-	return &llwNode{params: p.params, est: map[int]estimate{}}
+	return &llwNode{params: p.params}
 }
 
-// CloneState implements sim.Protocol: the neighbor-estimate map is the
-// node's mutable state and must not be shared.
+// CloneState implements sim.Protocol: the neighbor-estimate table is the
+// node's mutable state; it is shared copy-on-write (see estSet.clone), so
+// cloning is a single struct copy regardless of degree.
 func (p llwProto) CloneState(n sim.Node) sim.Node {
 	l := n.(*llwNode)
-	c := &llwNode{params: l.params, est: make(map[int]estimate, len(l.est)), fast: l.fast}
-	for k, v := range l.est {
-		c.est[k] = v
+	return &llwNode{params: l.params, est: l.est.clone(), fast: l.fast}
+}
+
+// CloneStates implements sim.BulkCloneProtocol: all clones come out of one
+// slab, so a whole-network fork costs two allocations however wide the net.
+func (p llwProto) CloneStates(nodes []sim.Node) []sim.Node {
+	slab := make([]llwNode, len(nodes))
+	out := make([]sim.Node, len(nodes))
+	for i, n := range nodes {
+		l := n.(*llwNode)
+		slab[i] = llwNode{params: l.params, est: l.est.clone(), fast: l.fast}
+		out[i] = &slab[i]
 	}
-	return c
+	return out
 }
 
 type llwNode struct {
 	params LLWParams
-	est    map[int]estimate
+	est    estSet
 	fast   bool
 }
 
@@ -87,7 +97,8 @@ func (n *llwNode) OnMessage(rt *sim.Runtime, from int, msg sim.Message) {
 	if !ok {
 		return
 	}
-	n.est[from] = estimate{val: m.Val, atHW: rt.HW()}
+	n.est.init(rt)
+	n.est.store(from, nbrEst{val: m.Val, atHW: rt.HW(), set: true})
 	n.adjust(rt)
 }
 
@@ -96,9 +107,9 @@ func (n *llwNode) adjust(rt *sim.Runtime) {
 	hw := rt.HW()
 	var maxAhead, maxBehind rat.Rat
 	seen := 0
-	for _, j := range rt.Neighbors() {
-		e, ok := n.est[j]
-		if !ok {
+	for i := range n.est.slots {
+		e := &n.est.slots[i]
+		if !e.set {
 			continue
 		}
 		seen++

@@ -30,11 +30,9 @@ func (p boundedMaxProto) NewNode(int) sim.Node {
 	return &boundedMaxNode{period: p.period, cap: p.cap}
 }
 
-// CloneState implements sim.Protocol.
-func (p boundedMaxProto) CloneState(n sim.Node) sim.Node {
-	c := *n.(*boundedMaxNode)
-	return &c
-}
+// CloneState implements sim.Protocol. A boundedMaxNode carries only
+// immutable configuration, so forks share the automaton itself.
+func (p boundedMaxProto) CloneState(n sim.Node) sim.Node { return n }
 
 type boundedMaxNode struct {
 	period rat.Rat
@@ -91,11 +89,9 @@ func (p rootSyncProto) NewNode(id int) sim.Node {
 	return &rootSyncNode{period: p.period, root: p.root, id: id}
 }
 
-// CloneState implements sim.Protocol.
-func (p rootSyncProto) CloneState(n sim.Node) sim.Node {
-	c := *n.(*rootSyncNode)
-	return &c
-}
+// CloneState implements sim.Protocol. A rootSyncNode carries only immutable
+// configuration, so forks share the automaton itself.
+func (p rootSyncProto) CloneState(n sim.Node) sim.Node { return n }
 
 type rootSyncNode struct {
 	period rat.Rat

@@ -1,0 +1,138 @@
+package clock
+
+import (
+	"testing"
+
+	"gcs/internal/fixed"
+	"gcs/internal/rat"
+)
+
+// detectScale runs the detector over a schedule plus extra denominators, the
+// way the engine does at construction.
+func detectScale(t *testing.T, s *Schedule, extraDens ...int64) int64 {
+	t.Helper()
+	d := fixed.NewDetector()
+	s.AddToDetector(d)
+	for _, den := range extraDens {
+		d.AddDen(den)
+	}
+	scale, ok := d.Scale()
+	if !ok {
+		t.Fatal("scale detection failed")
+	}
+	return scale
+}
+
+func TestFixedScheduleMatchesRatLane(t *testing.T) {
+	s, err := FromRates([]RateSeg{
+		{At: rat.FromInt(0), Rate: rat.MustFrac(9, 8)},
+		{At: rat.MustFrac(7, 2), Rate: rat.MustFrac(17, 16)},
+		{At: rat.FromInt(6), Rate: rat.MustFrac(5, 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := detectScale(t, s, 8)
+	fs, ok := s.CompileFixed(scale)
+	if !ok {
+		t.Fatal("CompileFixed failed on a grid-friendly schedule")
+	}
+	// Sweep the grid: every on-grid real time must evaluate identically in
+	// both lanes, and every resulting reading must invert identically.
+	for tick := int64(0); tick < 12*scale; tick += scale / 8 {
+		tr := fixed.ToRat(tick, scale)
+		wantHW := s.HW(tr)
+		hwTick, ok := fs.HWTicks(tick)
+		if !ok {
+			// Off-grid reading: the rat lane owns it — just check it truly
+			// is off-grid at this scale.
+			if _, convOK := fixed.FromRat(wantHW, scale); convOK {
+				t.Fatalf("HWTicks(%d) refused an on-grid reading %s", tick, wantHW)
+			}
+			continue
+		}
+		if got := fixed.ToRat(hwTick, scale); got.Key() != wantHW.Key() {
+			t.Fatalf("HWTicks(%d) = %s, want %s", tick, got.Key(), wantHW.Key())
+		}
+		// Invert the reading back.
+		wantReal, err := s.RealAt(wantHW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		realTick, ok := fs.RealAtTicks(hwTick)
+		if !ok {
+			if _, convOK := fixed.FromRat(wantReal, scale); convOK {
+				t.Fatalf("RealAtTicks(%d) refused an on-grid time %s", hwTick, wantReal)
+			}
+			continue
+		}
+		if got := fixed.ToRat(realTick, scale); got.Key() != wantReal.Key() {
+			t.Fatalf("RealAtTicks(%d) = %s, want %s", hwTick, got.Key(), wantReal.Key())
+		}
+	}
+}
+
+func TestFixedScheduleDiverse(t *testing.T) {
+	scheds, err := Diverse(16, rat.FromInt(1), rat.MustFrac(5, 4), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fixed.NewDetector()
+	for _, s := range scheds {
+		s.AddToDetector(d)
+	}
+	d.AddDen(8) // the benchmarks' adversary delay quantization
+	scale, ok := d.Scale()
+	if !ok {
+		t.Fatal("Diverse schedules must fit the bounded scale")
+	}
+	for i, s := range scheds {
+		fs, ok := s.CompileFixed(scale)
+		if !ok {
+			t.Fatalf("schedule %d did not compile", i)
+		}
+		for tick := int64(0); tick <= 32*scale; tick += scale / 8 {
+			hwTick, ok := fs.HWTicks(tick)
+			if !ok {
+				continue
+			}
+			want := s.HW(fixed.ToRat(tick, scale))
+			if got := fixed.ToRat(hwTick, scale); got.Key() != want.Key() {
+				t.Fatalf("schedule %d: HWTicks(%d) = %s, want %s", i, tick, got.Key(), want.Key())
+			}
+		}
+	}
+}
+
+func TestFixedScheduleOffGridFallsBack(t *testing.T) {
+	// Rate 10/7 at scale 16: the schedule compiles (its breakpoint data is
+	// on-grid), but readings that land on sevenths report !ok per value.
+	s := Constant(rat.MustFrac(10, 7))
+	fs, ok := s.CompileFixed(16)
+	if !ok {
+		t.Fatal("constant 10/7 schedule must compile: its breakpoints are on-grid")
+	}
+	if _, ok := fs.HWTicks(1); ok {
+		t.Fatal("HWTicks(1) = 10/7 ticks is off-grid and must fall back")
+	}
+	if hw, ok := fs.HWTicks(7); !ok || hw != 10 {
+		t.Fatalf("HWTicks(7) = %d, %v; want 10, true", hw, ok)
+	}
+	if _, ok := s.CompileFixed(0); ok {
+		t.Fatal("scale 0 must not compile")
+	}
+}
+
+func TestRealAtTicksBelowDomain(t *testing.T) {
+	s := Constant(rat.FromInt(1))
+	fs, ok := s.CompileFixed(16)
+	if !ok {
+		t.Fatal("constant schedule must compile")
+	}
+	if _, ok := fs.RealAtTicks(-1); ok {
+		t.Fatal("negative reading must fall back to the rat lane")
+	}
+	if _, ok := fs.HWTicks(-1); ok {
+		t.Fatal("negative time must fall back to the rat lane")
+	}
+}

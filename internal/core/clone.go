@@ -36,6 +36,18 @@ func (st *SkewTracker) Clone() *SkewTracker {
 		global:    st.global,
 		local:     st.local,
 		err:       st.err,
+
+		// Fixed lane: compiled schedule mirrors are immutable and shared;
+		// tick mirrors deep-copy (all nil when the lane was never adopted).
+		// Flush scratch is per-tracker and reallocates on first use.
+		scale:      st.scale,
+		fscheds:    st.fscheds,
+		curT:       append([]declTicks(nil), st.curT...),
+		leftT:      append([]declTicks(nil), st.leftT...),
+		pendingT:   st.pendingT,
+		pendingOK:  st.pendingOK,
+		pairSkewT:  append([]int64(nil), st.pairSkewT...),
+		pairTickOK: append([]bool(nil), st.pairTickOK...),
 	}
 }
 

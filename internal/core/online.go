@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"gcs/internal/clock"
+	"gcs/internal/fixed"
 	"gcs/internal/network"
 	"gcs/internal/rat"
 	"gcs/internal/trace"
@@ -94,6 +95,24 @@ type SkewTracker struct {
 	// GradientTracker uses it for first-violation detection.
 	onPair func(i, j int, val, at rat.Rat)
 
+	// Fixed-point lane (see online_fixed.go): scale > 0 after AdoptFixedLane
+	// mirrors declarations, pending time, and pair maxima in int64 ticks so
+	// the per-declaration pair sweep runs on integer arithmetic,
+	// value-by-value falling back to rat.
+	scale      int64
+	fscheds    []*clock.FixedSchedule
+	curT       []declTicks
+	leftT      []declTicks
+	pendingT   int64
+	pendingOK  bool
+	pairSkewT  []int64
+	pairTickOK []bool
+	// Flush scratch: per-node logical values at the flush instant.
+	flushT   []int64
+	flushTOK []bool
+	flushR   []rat.Rat
+	flushROK []bool
+
 	err error
 }
 
@@ -153,17 +172,23 @@ func (st *SkewTracker) declBefore(k int, t rat.Rat) trace.Decl {
 	return st.cur[k]
 }
 
-func (st *SkewTracker) updatePair(i, j int, val, at rat.Rat) {
+// updatePair folds one pair evaluation into the running maxima, reporting
+// whether it became the pair's new maximum. Storing through the rat lane
+// invalidates the pair's tick mirror; updatePairT refreshes it.
+func (st *SkewTracker) updatePair(i, j int, val, at rat.Rat) bool {
 	if j < i {
 		i, j = j, i
 	}
 	idx := i*st.n + j
 	if st.pairSet[idx] && !val.Greater(st.pairSkew[idx]) {
-		return
+		return false
 	}
 	st.pairSet[idx] = true
 	st.pairSkew[idx] = val
 	st.pairAt[idx] = at
+	if st.pairTickOK != nil {
+		st.pairTickOK[idx] = false
+	}
 	if st.onPair != nil {
 		st.onPair(i, j, val, at)
 	}
@@ -173,11 +198,41 @@ func (st *SkewTracker) updatePair(i, j int, val, at rat.Rat) {
 	if val.Greater(st.local.Skew) && st.net.Dist(i, j).Equal(rat.FromInt(1)) {
 		st.local = PairSkew{I: i, J: j, Dist: rat.FromInt(1), Skew: val, At: at}
 	}
+	return true
 }
 
 // evalNode evaluates every pair involving k at time t under the current
-// declarations.
-func (st *SkewTracker) evalNode(k int, t rat.Rat) {
+// declarations. tT/tOK carry t on the tick grid when the fixed lane is on;
+// pairs whose clocks evaluate in ticks compare in ticks, the rest go
+// through the rat lane.
+func (st *SkewTracker) evalNode(k int, t rat.Rat, tT int64, tOK bool) {
+	if tOK && st.scale > 0 {
+		if lkT, ok := st.logicalAtT(st.curT[k], k, tT); ok {
+			var lk rat.Rat
+			lkOK := false
+			for j := 0; j < st.n; j++ {
+				if j == k {
+					continue
+				}
+				if ljT, ok := st.logicalAtT(st.curT[j], j, tT); ok {
+					if d, ok := fixed.Sub(lkT, ljT); ok {
+						if d < 0 {
+							d = -d
+						}
+						st.updatePairT(k, j, d, t)
+						continue
+					}
+				}
+				if !lkOK {
+					lk = st.logicalAt(st.cur[k], k, t)
+					lkOK = true
+				}
+				lj := st.logicalAt(st.cur[j], j, t)
+				st.updatePair(k, j, lk.Sub(lj).Abs(), t)
+			}
+			return
+		}
+	}
 	lk := st.logicalAt(st.cur[k], k, t)
 	for j := 0; j < st.n; j++ {
 		if j == k {
@@ -194,7 +249,7 @@ func (st *SkewTracker) evalNode(k int, t rat.Rat) {
 func (st *SkewTracker) advance(t rat.Rat) {
 	for _, k := range st.dirty {
 		st.isDirty[k] = false
-		st.evalNode(k, st.pending)
+		st.evalNode(k, st.pending, st.pendingT, st.pendingOK)
 	}
 	st.dirty = st.dirty[:0]
 	for st.nextBreak < len(st.breaks) && st.breaks[st.nextBreak].at.LessEq(t) {
@@ -203,8 +258,9 @@ func (st *SkewTracker) advance(t rat.Rat) {
 		if !br.at.Greater(st.pending) {
 			continue
 		}
+		atT, atOK := fixed.FromRat(br.at, st.scale)
 		for _, k := range br.nodes {
-			st.evalNode(k, br.at)
+			st.evalNode(k, br.at, atT, atOK)
 			// A declaration may still land at exactly this time; re-check the
 			// post-state once time moves past it.
 			if br.at.Equal(t) && !st.isDirty[k] {
@@ -214,6 +270,7 @@ func (st *SkewTracker) advance(t rat.Rat) {
 		}
 	}
 	st.pending = t
+	st.pendingT, st.pendingOK = fixed.FromRat(t, st.scale)
 }
 
 // OnDeclare implements the engine ClockObserver interface: it evaluates the
@@ -233,7 +290,55 @@ func (st *SkewTracker) OnDeclare(d trace.Decl) {
 		st.advance(t)
 	}
 	i := d.Node
-	// Left limits at t for every pair involving i.
+	// Left limits at t for every pair involving i. After advance, pending == t,
+	// so pendingT carries t on the tick grid.
+	st.evalLeftLimits(i, t, st.pendingT, st.pendingOK)
+	if st.cur[i].Real.Less(t) {
+		st.left[i] = st.cur[i]
+		if st.scale > 0 {
+			st.leftT[i] = st.curT[i]
+		}
+	}
+	st.cur[i] = d
+	if st.scale > 0 {
+		st.curT[i] = st.declTicksOf(d)
+	}
+	if !st.isDirty[i] {
+		st.isDirty[i] = true
+		st.dirty = append(st.dirty, i)
+	}
+}
+
+// evalLeftLimits evaluates every pair involving i at t under the
+// declarations in effect just before t, mirroring evalNode's lane split.
+func (st *SkewTracker) evalLeftLimits(i int, t rat.Rat, tT int64, tOK bool) {
+	if tOK && st.scale > 0 {
+		if liT, ok := st.logicalAtT(st.declBeforeT(i, t), i, tT); ok {
+			var li rat.Rat
+			liOK := false
+			for j := 0; j < st.n; j++ {
+				if j == i {
+					continue
+				}
+				if ljT, ok := st.logicalAtT(st.declBeforeT(j, t), j, tT); ok {
+					if d, ok := fixed.Sub(liT, ljT); ok {
+						if d < 0 {
+							d = -d
+						}
+						st.updatePairT(i, j, d, t)
+						continue
+					}
+				}
+				if !liOK {
+					li = st.logicalAt(st.declBefore(i, t), i, t)
+					liOK = true
+				}
+				lj := st.logicalAt(st.declBefore(j, t), j, t)
+				st.updatePair(i, j, li.Sub(lj).Abs(), t)
+			}
+			return
+		}
+	}
 	li := st.logicalAt(st.declBefore(i, t), i, t)
 	for j := 0; j < st.n; j++ {
 		if j == i {
@@ -241,14 +346,6 @@ func (st *SkewTracker) OnDeclare(d trace.Decl) {
 		}
 		lj := st.logicalAt(st.declBefore(j, t), j, t)
 		st.updatePair(i, j, li.Sub(lj).Abs(), t)
-	}
-	if st.cur[i].Real.Less(t) {
-		st.left[i] = st.cur[i]
-	}
-	st.cur[i] = d
-	if !st.isDirty[i] {
-		st.isDirty[i] = true
-		st.dirty = append(st.dirty, i)
 	}
 }
 
@@ -267,10 +364,42 @@ func (st *SkewTracker) Flush(t rat.Rat) {
 	if t.Greater(st.pending) {
 		st.advance(t)
 	}
+	// Precompute each node's logical value at t once — in ticks when exact,
+	// through the rat lane lazily otherwise — so the all-pairs sweep repeats
+	// no clock evaluations.
+	if st.flushR == nil {
+		st.flushR = make([]rat.Rat, st.n)
+		st.flushROK = make([]bool, st.n)
+		st.flushT = make([]int64, st.n)
+		st.flushTOK = make([]bool, st.n)
+	}
+	tT, tOK := st.pendingT, st.pendingOK // pending == t after advance
+	for i := 0; i < st.n; i++ {
+		st.flushROK[i] = false
+		st.flushTOK[i] = false
+		if tOK && st.scale > 0 {
+			st.flushT[i], st.flushTOK[i] = st.logicalAtT(st.curT[i], i, tT)
+		}
+	}
 	st.net.Pairs(func(i, j int) {
-		li := st.logicalAt(st.cur[i], i, t)
-		lj := st.logicalAt(st.cur[j], j, t)
-		st.updatePair(i, j, li.Sub(lj).Abs(), t)
+		if st.flushTOK[i] && st.flushTOK[j] {
+			if d, ok := fixed.Sub(st.flushT[i], st.flushT[j]); ok {
+				if d < 0 {
+					d = -d
+				}
+				st.updatePairT(i, j, d, t)
+				return
+			}
+		}
+		if !st.flushROK[i] {
+			st.flushR[i] = st.logicalAt(st.cur[i], i, t)
+			st.flushROK[i] = true
+		}
+		if !st.flushROK[j] {
+			st.flushR[j] = st.logicalAt(st.cur[j], j, t)
+			st.flushROK[j] = true
+		}
+		st.updatePair(i, j, st.flushR[i].Sub(st.flushR[j]).Abs(), t)
 	})
 	// The all-pairs evaluation covers every deferred right-limit at t.
 	for _, k := range st.dirty {

@@ -1,0 +1,134 @@
+// Fixed-point lane for the SkewTracker (see internal/fixed): when the
+// engine's scale detection lands the run on a common tick grid, the engine
+// hands the scale to every attached observer implementing AdoptFixedLane,
+// and the tracker mirrors its per-node declarations and per-pair running
+// maxima in int64 ticks. Pair evaluations — the tracker's O(n)-per-
+// declaration hot path, and the dominant per-step CPU term of an observed
+// run — then reduce to integer clock evaluation plus one integer compare,
+// with the usual contract: any value off the grid falls back to exact
+// rational arithmetic for that value alone, so results are byte-identical
+// to the pure rat lane.
+
+package core
+
+import (
+	"gcs/internal/clock"
+	"gcs/internal/fixed"
+	"gcs/internal/rat"
+	"gcs/internal/trace"
+)
+
+// declTicks mirrors one logical-clock declaration on the tick grid:
+// L(t) = val + (multP/multQ)·(H(t) − hw0), all times and values in ticks.
+// ok=false means the declaration has an off-grid component and every
+// evaluation under it takes the rat lane.
+type declTicks struct {
+	val, hw0     int64
+	multP, multQ int64
+	ok           bool
+}
+
+// AdoptFixedLane implements the engine's fixed-lane observer extension: the
+// engine calls it with its detected tick scale (0 when the run stays on the
+// rat lane) when the tracker is attached. The tracker compiles its own
+// schedule mirrors at that scale; a tracker that never adopts a scale — or
+// adopts 0 — runs entirely on the rat lane, byte-identical either way.
+func (st *SkewTracker) AdoptFixedLane(scale int64) {
+	if scale == st.scale && (scale == 0 || st.fscheds != nil) {
+		return // already on this grid (e.g. a clone re-attached to a fork)
+	}
+	st.scale = 0
+	st.fscheds = nil
+	if scale <= 0 {
+		return
+	}
+	fs := make([]*clock.FixedSchedule, st.n)
+	for i, s := range st.scheds {
+		f, ok := s.CompileFixed(scale)
+		if !ok {
+			return
+		}
+		fs[i] = f
+	}
+	st.scale = scale
+	st.fscheds = fs
+	if st.curT == nil {
+		st.curT = make([]declTicks, st.n)
+		st.leftT = make([]declTicks, st.n)
+		st.pairSkewT = make([]int64, st.n*st.n)
+		st.pairTickOK = make([]bool, st.n*st.n)
+	}
+	for i := 0; i < st.n; i++ {
+		st.curT[i] = st.declTicksOf(st.cur[i])
+		st.leftT[i] = st.declTicksOf(st.left[i])
+	}
+	// Pair mirrors re-establish lazily from the exact rat maxima.
+	for i := range st.pairTickOK {
+		st.pairTickOK[i] = false
+	}
+	st.pendingT, st.pendingOK = fixed.FromRat(st.pending, scale)
+}
+
+// declTicksOf converts a declaration onto the grid.
+func (st *SkewTracker) declTicksOf(d trace.Decl) declTicks {
+	val, ok1 := fixed.FromRat(d.Value, st.scale)
+	hw0, ok2 := fixed.FromRat(d.HW0, st.scale)
+	p, ok3 := d.Mult.Num()
+	q, ok4 := d.Mult.Den()
+	return declTicks{
+		val: val, hw0: hw0, multP: p, multQ: q,
+		ok: ok1 && ok2 && ok3 && ok4 && p >= 0 && q > 0,
+	}
+}
+
+// declBeforeT is declBefore on the tick mirror.
+func (st *SkewTracker) declBeforeT(k int, t rat.Rat) declTicks {
+	if st.cur[k].Real.Equal(t) {
+		return st.leftT[k]
+	}
+	return st.curT[k]
+}
+
+// logicalAtT evaluates node i's logical clock in ticks, or ok=false when
+// any component is off the grid. An ok result equals logicalAt bit for bit
+// after fixed.ToRat.
+func (st *SkewTracker) logicalAtT(dt declTicks, i int, tT int64) (int64, bool) {
+	if !dt.ok {
+		return 0, false
+	}
+	hwT, ok := st.fscheds[i].HWTicks(tT)
+	if !ok {
+		return 0, false
+	}
+	diff, ok := fixed.Sub(hwT, dt.hw0)
+	if !ok {
+		return 0, false
+	}
+	term, ok := fixed.MulDiv(diff, dt.multP, dt.multQ)
+	if !ok {
+		return 0, false
+	}
+	return fixed.Add(dt.val, term)
+}
+
+// updatePairT folds a pair evaluation already computed in ticks into the
+// running maxima. The overwhelmingly common outcome — the new value does not
+// exceed the pair's running maximum — is a single integer compare; only an
+// increase (or a stale tick mirror) materializes rationals.
+func (st *SkewTracker) updatePairT(i, j int, diffT int64, at rat.Rat) {
+	if j < i {
+		i, j = j, i
+	}
+	idx := i*st.n + j
+	if st.pairSet[idx] && st.pairTickOK[idx] && diffT <= st.pairSkewT[idx] {
+		return
+	}
+	if st.updatePair(i, j, fixed.ToRat(diffT, st.scale), at) {
+		st.pairSkewT[idx] = diffT
+		st.pairTickOK[idx] = true
+		return
+	}
+	// Not an increase, but the tick mirror was stale (the maximum was last
+	// stored through the rat lane): refresh it so the next compare is fast.
+	st.pairSkewT[idx], st.pairTickOK[idx] = fixed.FromRat(st.pairSkew[idx], st.scale)
+}

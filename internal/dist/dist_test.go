@@ -337,3 +337,33 @@ func TestSpecValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPlanCampaignLanePricing: with a lane-tagged snapshot, each cell is
+// priced at its probed lane's measured ns/step, not the lane-agnostic figure.
+func TestPlanCampaignLanePricing(t *testing.T) {
+	spec := e13LongSpec()
+	model := perf.CostModel{
+		NsPerStep: 2000, Source: "legacy",
+		Lanes: map[string]perf.LaneCost{
+			"fixed": {NsPerStep: 500, Source: "SearchPrefixCached/E13"},
+			"rat":   {NsPerStep: 1500, Source: "SearchPrefixCached/E13/rat"},
+		},
+	}
+	plan, err := PlanCampaign(spec, model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := plan.Cells[0]
+	if cp.Lane != "fixed" {
+		t.Fatalf("two-node midpoint cell probed lane %q, want fixed", cp.Lane)
+	}
+	if cp.NsPerStep != 500 || cp.CostSource != "SearchPrefixCached/E13" {
+		t.Fatalf("cell priced %v ns/step (%s), want the fixed lane's cost", cp.NsPerStep, cp.CostSource)
+	}
+	if want := float64(plan.EstSteps) * 500; plan.EstSerialNs != want {
+		t.Fatalf("serial estimate %f, want %f from the fixed-lane cost", plan.EstSerialNs, want)
+	}
+	if !strings.Contains(plan.Render(), "fixed lane") {
+		t.Fatal("plan report does not show the per-cell lane")
+	}
+}

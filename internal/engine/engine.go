@@ -84,6 +84,15 @@ type Protocol interface {
 	CloneState(node Node) Node
 }
 
+// BulkCloneProtocol is an optional Protocol extension for forking: CloneStates
+// clones every node automaton in one call, so the protocol can slab-allocate
+// the clones instead of paying one allocation per node. Engine.Fork prefers
+// it over per-node CloneState when implemented. The contract is CloneState's,
+// element-wise: out[i] must be an independent, non-nil clone of nodes[i].
+type BulkCloneProtocol interface {
+	CloneStates(nodes []Node) []Node
+}
+
 // Adversary chooses message delays. Delay must return a value in
 // [0, bound]; the engine validates and fails the run otherwise.
 type Adversary interface {
@@ -133,6 +142,17 @@ type Engine struct {
 	horizon rat.Rat // time through which the run is complete
 	steps   uint64  // dispatched event count
 	err     error
+
+	// Fixed-point lane (see lane.go): scale > 0 means the run landed on a
+	// common tick grid at construction and the hot path computes event keys,
+	// clock readings, and clock inversions on int64 ticks, value-by-value
+	// falling back to rat. fscheds (one compiled schedule per node) is
+	// immutable and shared with forks.
+	lane      Lane
+	scale     int64
+	fscheds   []*clock.FixedSchedule
+	nowTick   int64 // e.now in ticks; valid iff nowTickOK
+	nowTickOK bool
 
 	// met is the optional instrument set (see metrics.go). Nil-checked on
 	// the hot path: an uninstrumented engine pays one predictable branch.
@@ -213,9 +233,27 @@ func New(net *network.Network, opts ...Option) (*Engine, error) {
 		// Default logical clock L = H until the node declares otherwise.
 		e.runtimes[i].decls = []trace.Decl{{Node: i, Mult: rat.FromInt(1)}}
 	}
+	e.detectLane()
+	if e.met != nil {
+		if e.scale > 0 {
+			e.met.FixedLaneRuns.Inc()
+		} else {
+			e.met.RatLaneRuns.Inc()
+		}
+	}
+	// Observers attached via WithObservers ran before lane detection; hand
+	// them the detected scale now.
+	for _, o := range e.obs {
+		if a, ok := o.(FixedLaneAdopter); ok {
+			a.AdoptFixedLane(e.scale)
+		}
+	}
 	for i := 0; i < n; i++ {
 		idx := e.queue.alloc()
-		e.queue.slab[idx] = event{kind: trace.KindInit, node: i, from: -1, seq: e.nextSeq()}
+		// Init events carry their hardware reading: H(0) = 0 by the Schedule
+		// contract. Their tick key is exact whenever the lane is on.
+		e.queue.slab[idx] = event{kind: trace.KindInit, node: i, from: -1, seq: e.nextSeq(),
+			tickOK: e.nowTickOK, hw: rat.Rat{}, hasHW: true}
 		e.queue.push(idx)
 	}
 	return e, nil
@@ -223,7 +261,9 @@ func New(net *network.Network, opts ...Option) (*Engine, error) {
 
 // Observe attaches observers to the event stream. Observers attached before
 // the first Step see the complete run; observers attached mid-run see events
-// from that point on.
+// from that point on. An observer implementing FixedLaneAdopter is handed the
+// engine's detected tick scale (0 on the rat lane) so it can mirror its own
+// state onto the grid; adoption never changes results, only arithmetic.
 func (e *Engine) Observe(obs ...Observer) {
 	for _, o := range obs {
 		if o == nil {
@@ -235,6 +275,9 @@ func (e *Engine) Observe(obs ...Observer) {
 		}
 		if h, ok := o.(HorizonObserver); ok {
 			e.horizonObs = append(e.horizonObs, h)
+		}
+		if a, ok := o.(FixedLaneAdopter); ok {
+			a.AdoptFixedLane(e.scale)
 		}
 	}
 }
@@ -374,12 +417,20 @@ func (e *Engine) observed() bool { return e.advObs != nil || len(e.obs) > 0 }
 
 func (e *Engine) dispatch(ev *event) {
 	e.now = ev.time
+	e.nowTick, e.nowTickOK = ev.tick, ev.tickOK
 	e.steps++
 	if e.met != nil {
 		e.met.Steps.Inc()
 	}
 	rt := &e.runtimes[ev.node]
-	hw := e.scheds[ev.node].HW(ev.time)
+	// Every event carries the destination's hardware reading, computed once
+	// at scheduling time and carried across forks — branches sharing a
+	// prefix never re-derive a queued event's reading. The recompute branch
+	// is defense in depth; all alloc sites populate the cache.
+	hw := ev.hw
+	if !ev.hasHW {
+		hw = e.scheds[ev.node].HW(ev.time)
+	}
 	rt.hwNow = hw
 	switch ev.kind {
 	case trace.KindInit:

@@ -22,6 +22,18 @@ type event struct {
 	sendReal rat.Rat // Recv only: real send time, for the delivery record
 	delay    rat.Rat // Recv only: adversary-chosen delay
 	seq      uint64  // global scheduling sequence, final tie-breaker
+
+	// Fixed-lane key: time as exact ticks of 1/engine.scale, valid iff
+	// tickOK. Two tickOK events compare by integer ticks; any other pair
+	// compares by exact rational time — the orders agree because a tick
+	// count represents its time exactly.
+	tick   int64
+	tickOK bool
+	// Cached hardware reading of the destination node at `time`, computed
+	// when the event was scheduled: dispatch never re-evaluates the clock,
+	// and forks inherit queued readings instead of re-deriving them.
+	hw    rat.Rat
+	hasHW bool
 }
 
 // kindRank orders simultaneous events: inits, then message deliveries, then
@@ -43,7 +55,14 @@ func kindRank(k trace.Kind) int {
 // unique per event, so the order is strict and total — the pop order of any
 // correct heap over it is the same, independent of internal heap layout.
 func (e *event) less(o *event) bool {
-	if c := e.time.Cmp(o.time); c != 0 {
+	if e.tickOK && o.tickOK {
+		// Same grid, exact values: integer comparison is the rational
+		// comparison. Equal ticks mean equal times — fall through to the
+		// deterministic tie-breakers.
+		if e.tick != o.tick {
+			return e.tick < o.tick
+		}
+	} else if c := e.time.Cmp(o.time); c != 0 {
 		return c < 0
 	}
 	if a, b := kindRank(e.kind), kindRank(o.kind); a != b {

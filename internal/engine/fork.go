@@ -58,6 +58,16 @@ func (e *Engine) Fork() (*Engine, error) {
 		horizon: e.horizon,
 		steps:   e.steps,
 		met:     e.met, // forks aggregate into the parent's instruments
+
+		// The fixed lane is immutable environment: the compiled schedules
+		// are shared, the tick clock copies. Queued events' tick keys and
+		// cached hardware readings ride along in the slab copy below — a
+		// fork re-derives nothing the trunk already computed.
+		lane:      e.lane,
+		scale:     e.scale,
+		fscheds:   e.fscheds,
+		nowTick:   e.nowTick,
+		nowTickOK: e.nowTickOK,
 	}
 	if e.met != nil {
 		e.met.Forks.Inc()
@@ -73,19 +83,40 @@ func (e *Engine) Fork() (*Engine, error) {
 	for i := range e.runtimes {
 		totalDecls += len(e.runtimes[i].decls)
 	}
-	declSlab := make([]trace.Decl, 0, totalDecls)
+	// Each node's slice gets declSlack spare capacity inside the shared slab,
+	// so the first post-fork declarations append in place instead of paying a
+	// reallocation per node; a node's cap ends where its neighbor's region
+	// starts, so overflowing the slack still copies on write.
+	const declSlack = 8
+	declSlab := make([]trace.Decl, 0, totalDecls+declSlack*n)
 	f.runtimes = make([]Runtime, n)
-	f.nodes = make([]Node, n)
 	for i := 0; i < n; i++ {
 		rt := &e.runtimes[i]
 		start := len(declSlab)
 		declSlab = append(declSlab, rt.decls...)
+		end := len(declSlab)
 		f.runtimes[i] = Runtime{
 			eng:   f,
 			id:    i,
 			hwNow: rt.hwNow,
-			decls: declSlab[start:len(declSlab):len(declSlab)],
+			decls: declSlab[start : end : end+declSlack],
 		}
+		declSlab = declSlab[:end+declSlack]
+	}
+	if bc, ok := e.proto.(BulkCloneProtocol); ok {
+		f.nodes = bc.CloneStates(e.nodes)
+		if len(f.nodes) != n {
+			return nil, fmt.Errorf("engine: protocol %s CloneStates returned %d nodes for %d", e.proto.Name(), len(f.nodes), n)
+		}
+		for i, node := range f.nodes {
+			if node == nil {
+				return nil, fmt.Errorf("engine: protocol %s CloneStates returned nil for node %d", e.proto.Name(), i)
+			}
+		}
+		return f, nil
+	}
+	f.nodes = make([]Node, n)
+	for i := 0; i < n; i++ {
 		node := e.proto.CloneState(e.nodes[i])
 		if node == nil {
 			return nil, fmt.Errorf("engine: protocol %s CloneState returned nil for node %d", e.proto.Name(), i)

@@ -21,6 +21,17 @@ type Metrics struct {
 	// outcomes during Execution.
 	ClockCacheHits   *obs.Counter
 	ClockCacheMisses *obs.Counter
+	// FixedLaneRuns counts engines whose scale detection engaged the
+	// fixed-point lane at construction; RatLaneRuns counts engines that
+	// stayed on (or were forced onto) the rat lane. Forks are not runs and
+	// count toward neither.
+	FixedLaneRuns *obs.Counter
+	RatLaneRuns   *obs.Counter
+	// FixedFallbacks counts individual values a fixed-lane engine had to
+	// compute in rational arithmetic because they fell off the tick grid
+	// (an off-grid delay, reading, or timer inversion). A high rate relative
+	// to Steps means the detected scale misses the run's real grid.
+	FixedFallbacks *obs.Counter
 }
 
 // NewMetrics registers the engine instrument set in r. Repeated calls with
@@ -32,6 +43,9 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Forks:            r.Counter("gcs_engine_forks_total", "engine forks taken"),
 		ClockCacheHits:   r.Counter("gcs_engine_clock_cache_hits_total", "compiled logical-clock cache hits"),
 		ClockCacheMisses: r.Counter("gcs_engine_clock_cache_misses_total", "compiled logical-clock cache misses"),
+		FixedLaneRuns:    r.Counter("gcs_engine_fixed_lane_runs_total", "engines constructed on the fixed-point tick lane"),
+		RatLaneRuns:      r.Counter("gcs_engine_rat_lane_runs_total", "engines constructed on the exact-rational lane"),
+		FixedFallbacks:   r.Counter("gcs_engine_fixed_fallbacks_total", "off-grid values computed in rational arithmetic by fixed-lane engines"),
 	}
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"gcs/internal/fixed"
 	"gcs/internal/rat"
 	"gcs/internal/trace"
 )
@@ -101,6 +102,33 @@ func (rt *Runtime) Send(to int, msg Message) {
 		return
 	}
 	recv := e.now.Add(delay)
+	// Fixed lane: the receive tick is now + delay in integers when the delay
+	// lands on the grid; the recipient's hardware reading at that tick comes
+	// from the compiled schedule. Every miss falls back to the rat lane for
+	// that value alone.
+	var recvTick int64
+	recvTickOK := false
+	if e.nowTickOK {
+		if dt, ok := fixed.FromRat(delay, e.scale); ok {
+			recvTick, recvTickOK = fixed.Add(e.nowTick, dt)
+		}
+		if !recvTickOK && e.met != nil {
+			e.met.FixedFallbacks.Inc()
+		}
+	}
+	var hwRecv rat.Rat
+	hwOK := false
+	if recvTickOK {
+		if ht, ok := e.fscheds[to].HWTicks(recvTick); ok {
+			hwRecv = fixed.ToRat(ht, e.scale)
+			hwOK = true
+		} else if e.met != nil {
+			e.met.FixedFallbacks.Inc()
+		}
+	}
+	if !hwOK {
+		hwRecv = e.scheds[to].HW(recv)
+	}
 	var payload string
 	hasStr := e.observed()
 	if hasStr {
@@ -135,6 +163,10 @@ func (rt *Runtime) Send(to int, msg Message) {
 		sendReal: e.now,
 		delay:    delay,
 		seq:      e.nextSeq(),
+		tick:     recvTick,
+		tickOK:   recvTickOK,
+		hw:       hwRecv,
+		hasHW:    true,
 	}
 	e.queue.push(idx)
 }
@@ -147,10 +179,32 @@ func (rt *Runtime) SetTimerAtHW(hw rat.Rat, timerID int) {
 		e.fail(fmt.Errorf("engine: node %d sets timer at hardware time %s < current %s", rt.id, hw, rt.hwNow))
 		return
 	}
-	real, err := e.scheds[rt.id].RealAt(hw)
-	if err != nil {
-		e.fail(fmt.Errorf("engine: node %d timer: %w", rt.id, err))
-		return
+	// Fixed lane: invert the compiled schedule in ticks. The rat lane owns
+	// every miss and every error case (off-grid target, inexact division by
+	// the rate numerator). Either way the event caches the target reading —
+	// H(RealAt(hw)) = hw exactly, the clock being continuous and strictly
+	// increasing — so dispatch never inverts or re-evaluates.
+	var real rat.Rat
+	var realTick int64
+	tickOK := false
+	if e.scale > 0 {
+		if ht, ok := fixed.FromRat(hw, e.scale); ok {
+			if tt, ok := e.fscheds[rt.id].RealAtTicks(ht); ok {
+				realTick, tickOK = tt, true
+				real = fixed.ToRat(tt, e.scale)
+			}
+		}
+		if !tickOK && e.met != nil {
+			e.met.FixedFallbacks.Inc()
+		}
+	}
+	if !tickOK {
+		var err error
+		real, err = e.scheds[rt.id].RealAt(hw)
+		if err != nil {
+			e.fail(fmt.Errorf("engine: node %d timer: %w", rt.id, err))
+			return
+		}
 	}
 	idx := e.queue.alloc()
 	e.queue.slab[idx] = event{
@@ -160,6 +214,10 @@ func (rt *Runtime) SetTimerAtHW(hw rat.Rat, timerID int) {
 		from:    -1,
 		timerID: timerID,
 		seq:     e.nextSeq(),
+		tick:    realTick,
+		tickOK:  tickOK,
+		hw:      hw,
+		hasHW:   true,
 	}
 	e.queue.push(idx)
 }

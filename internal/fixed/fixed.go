@@ -1,0 +1,267 @@
+// Package fixed implements the engine's exact scaled-int64 fixed-point lane.
+//
+// Exact rational arithmetic (internal/rat) is the dominant per-step CPU term
+// of the simulation: every event key comparison, clock evaluation, and clock
+// inversion cross-multiplies int64 fractions (or worse, falls back to
+// big.Rat). Most runs, however, live on a common grid — all rates, delays,
+// and offsets share a modest common denominator — and on that grid every
+// time value is an integer number of ticks of 1/scale. This package detects
+// the grid and provides the checked integer arithmetic for computing on it.
+//
+// The lane is speculative, never authoritative: every conversion and every
+// operation reports whether it was exact, and a caller that gets !ok falls
+// back to the rat lane for that value. Exactness is the whole contract — a
+// tick count t represents exactly the rational t/scale, so any computation
+// that stays in ticks is bit-for-bit the computation the rat lane would have
+// performed, just without the gcds. There is no rounding anywhere; the fuzz
+// tests pin every operation against internal/rat (which is itself fuzzed
+// against math/big.Rat).
+//
+// Scale detection (Detector) accumulates a bounded least common multiple of
+// the denominators in play — clock rates (numerators too: inverting a clock
+// divides by the rate's numerator), schedule breakpoints, network distances,
+// and the adversary's advertised delay quantization. The bound (MaxScale)
+// keeps tick magnitudes far from int64 overflow for any realistic horizon;
+// when the LCM would exceed it, detection fails and the run stays on the
+// rat lane.
+package fixed
+
+import (
+	"math"
+	"math/bits"
+
+	"gcs/internal/rat"
+)
+
+// MaxScale bounds the detected scale. With scale < 2^32 and simulated times
+// below 2^20 time units, tick magnitudes stay below 2^52, so sums of a few
+// ticks never approach int64 overflow and 128-bit intermediates in MulDiv
+// divide out comfortably.
+const MaxScale = int64(1) << 32
+
+// Detector accumulates the common-denominator scale of a run. The zero value
+// is not usable; construct with NewDetector.
+type Detector struct {
+	scale int64
+	evalF int64
+	ok    bool
+}
+
+// NewDetector returns a detector with scale 1.
+func NewDetector() *Detector { return &Detector{scale: 1, evalF: 1, ok: true} }
+
+// AddDen folds one denominator into the scale (bounded LCM). Non-positive
+// denominators and LCM overflow past MaxScale poison the detector.
+func (d *Detector) AddDen(den int64) {
+	if !d.ok {
+		return
+	}
+	if den <= 0 {
+		d.ok = false
+		return
+	}
+	l, ok := LCM(d.scale, den)
+	if !ok {
+		d.ok = false
+		return
+	}
+	d.scale = l
+}
+
+// AddValue folds a rational value's denominator into the scale. Values too
+// large for int64 (big.Rat-backed) poison the detector.
+func (d *Detector) AddValue(r rat.Rat) {
+	den, ok := r.Den()
+	if !ok {
+		d.ok = false
+		return
+	}
+	d.AddDen(den)
+}
+
+// AddRate folds a clock rate into the scale: its denominator (evaluating the
+// clock multiplies by the rate) and its numerator (inverting the clock
+// divides by it, so hardware targets on the grid invert exactly only when
+// the numerator divides the scale).
+func (d *Detector) AddRate(r rat.Rat) {
+	d.AddValue(r)
+	num, ok := r.Num()
+	if !ok {
+		d.ok = false
+		return
+	}
+	if num < 0 {
+		num = -num
+	}
+	d.AddDen(num)
+}
+
+// AddEvalDen folds a denominator that multiplies the detected grid instead
+// of joining its LCM. Rationale: the LCM grid 1/s is where *times* live —
+// it is closed under the sums and exact inversions the run performs — but a
+// clock evaluation H(t) = hw0 + (t−at)·p/q of an arbitrary on-grid time
+// divides by the rate denominator q, landing values on the q-times-finer
+// grid 1/(s·q). Folding q here (for every rate in play) makes the final
+// scale s·lcm(q...) so those readings stay exact in ticks. Best-effort by
+// design: an unusable or overflowing factor is dropped — a coarser scale
+// never breaks correctness, it only sends more values down the rat lane.
+func (d *Detector) AddEvalDen(den int64) {
+	if !d.ok || den <= 0 {
+		return
+	}
+	if f, ok := LCM(d.evalF, den); ok {
+		d.evalF = f
+	}
+}
+
+// Scale returns the accumulated scale — the time-grid LCM times the
+// evaluation factor when that product stays within MaxScale, the bare
+// time-grid LCM otherwise — or ok=false when detection failed (an
+// unrepresentable input or an LCM past MaxScale).
+func (d *Detector) Scale() (int64, bool) {
+	if !d.ok {
+		return 0, false
+	}
+	if d.evalF > 1 && d.scale <= MaxScale/d.evalF {
+		return d.scale * d.evalF, true
+	}
+	return d.scale, true
+}
+
+// LCM returns the least common multiple of positive a and b, or ok=false
+// when either input is non-positive or the result would exceed MaxScale.
+func LCM(a, b int64) (int64, bool) {
+	if a <= 0 || b <= 0 {
+		return 0, false
+	}
+	g := gcd(a, b)
+	q := a / g
+	if q > MaxScale/b {
+		return 0, false
+	}
+	return q * b, true
+}
+
+func gcd(x, y int64) int64 {
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return x
+}
+
+// FromRat converts r to ticks of 1/scale: the exact integer r·scale, or
+// ok=false when r is not on the grid (its denominator does not divide scale),
+// is big.Rat-backed, or the product overflows.
+func FromRat(r rat.Rat, scale int64) (int64, bool) {
+	if scale <= 0 {
+		return 0, false
+	}
+	num, ok := r.Num()
+	if !ok {
+		return 0, false
+	}
+	den, ok := r.Den()
+	if !ok {
+		return 0, false
+	}
+	if den <= 0 || scale%den != 0 {
+		return 0, false
+	}
+	f := scale / den
+	if num == 0 {
+		return 0, true
+	}
+	a := num
+	if a < 0 {
+		a = -a
+	}
+	if a > math.MaxInt64/f {
+		return 0, false
+	}
+	return num * f, true
+}
+
+// ToRat converts ticks of 1/scale back to the exact rational ticks/scale, in
+// lowest terms — the same normal form every rat operation produces, so a
+// value computed in ticks and converted back is byte-identical (String, Key)
+// to the value the rat lane would have computed.
+func ToRat(ticks, scale int64) rat.Rat {
+	return rat.MustFrac(ticks, scale)
+}
+
+// Add returns a+b with overflow detection.
+func Add(a, b int64) (int64, bool) {
+	c := a + b
+	// Overflow iff the operands share a sign and the result does not.
+	if (a >= 0) == (b >= 0) && (c >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return c, true
+}
+
+// Sub returns a−b with overflow detection.
+func Sub(a, b int64) (int64, bool) {
+	if b == math.MinInt64 {
+		return 0, false
+	}
+	return Add(a, -b)
+}
+
+// Mul returns a·b with overflow detection.
+func Mul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		return 0, false
+	}
+	c := a * b
+	if c/b != a {
+		return 0, false
+	}
+	return c, true
+}
+
+// MulDiv returns a·p/q (q > 0) when the division is exact and the result
+// fits in int64, using a 128-bit intermediate so a·p may overflow int64
+// freely. ok=false on an inexact division or out-of-range result — the
+// caller falls back to the rat lane, it never rounds.
+func MulDiv(a, p, q int64) (int64, bool) {
+	if q <= 0 {
+		return 0, false
+	}
+	if a == 0 || p == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || p == math.MinInt64 {
+		return 0, false
+	}
+	neg := (a < 0) != (p < 0)
+	ua, up := uint64(a), uint64(p)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if p < 0 {
+		up = uint64(-p)
+	}
+	uq := uint64(q)
+	hi, lo := bits.Mul64(ua, up)
+	if hi >= uq {
+		// Quotient would overflow 64 bits.
+		return 0, false
+	}
+	quo, rem := bits.Div64(hi, lo, uq)
+	if rem != 0 {
+		return 0, false
+	}
+	if neg {
+		if quo > 1<<63 {
+			return 0, false
+		}
+		return -int64(quo), true
+	}
+	if quo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(quo), true
+}

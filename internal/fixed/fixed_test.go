@@ -1,0 +1,146 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+
+	"gcs/internal/rat"
+)
+
+func TestDetector(t *testing.T) {
+	d := NewDetector()
+	d.AddDen(4)
+	d.AddDen(6)
+	s, ok := d.Scale()
+	if !ok || s != 12 {
+		t.Fatalf("scale = %d, %v; want 12, true", s, ok)
+	}
+	d.AddValue(rat.MustFrac(3, 8))
+	s, ok = d.Scale()
+	if !ok || s != 24 {
+		t.Fatalf("scale = %d, %v; want 24, true", s, ok)
+	}
+	// Rates contribute numerator and denominator.
+	d.AddRate(rat.MustFrac(5, 4))
+	s, ok = d.Scale()
+	if !ok || s != 120 {
+		t.Fatalf("scale = %d, %v; want 120, true", s, ok)
+	}
+}
+
+func TestDetectorPoison(t *testing.T) {
+	d := NewDetector()
+	d.AddDen(0)
+	if _, ok := d.Scale(); ok {
+		t.Fatal("zero denominator should poison the detector")
+	}
+	d = NewDetector()
+	d.AddDen(MaxScale)
+	d.AddDen(MaxScale - 1) // coprime-ish; LCM far past the bound
+	if _, ok := d.Scale(); ok {
+		t.Fatal("LCM past MaxScale should poison the detector")
+	}
+	// Once poisoned, stays poisoned.
+	d.AddDen(1)
+	if _, ok := d.Scale(); ok {
+		t.Fatal("poisoned detector must not recover")
+	}
+}
+
+func TestLCMBound(t *testing.T) {
+	if l, ok := LCM(6, 10); !ok || l != 30 {
+		t.Fatalf("LCM(6,10) = %d, %v; want 30, true", l, ok)
+	}
+	if _, ok := LCM(MaxScale, 3); ok {
+		t.Fatal("LCM above MaxScale must fail")
+	}
+	if _, ok := LCM(0, 3); ok {
+		t.Fatal("LCM of non-positive must fail")
+	}
+}
+
+func TestFromRatToRat(t *testing.T) {
+	const scale = 240
+	cases := []struct {
+		r     rat.Rat
+		ticks int64
+		ok    bool
+	}{
+		{rat.FromInt(0), 0, true},
+		{rat.FromInt(3), 720, true},
+		{rat.MustFrac(-7, 2), -840, true},
+		{rat.MustFrac(1, 16), 15, true},
+		{rat.MustFrac(1, 7), 0, false},  // 7 does not divide 240
+		{rat.MustFrac(3, 32), 0, false}, // 32 does not divide 240
+	}
+	for _, c := range cases {
+		got, ok := FromRat(c.r, scale)
+		if ok != c.ok || got != c.ticks {
+			t.Fatalf("FromRat(%s, %d) = %d, %v; want %d, %v", c.r, scale, got, ok, c.ticks, c.ok)
+		}
+		if ok {
+			back := ToRat(got, scale)
+			if !back.Equal(c.r) || back.Key() != c.r.Key() {
+				t.Fatalf("ToRat(FromRat(%s)) = %s", c.r, back)
+			}
+		}
+	}
+}
+
+func TestFromRatOverflow(t *testing.T) {
+	if _, ok := FromRat(rat.FromInt(math.MaxInt64/2), 4); ok {
+		t.Fatal("FromRat overflow must fail")
+	}
+	if _, ok := FromRat(rat.FromInt(0), 0); ok {
+		t.Fatal("FromRat with scale 0 must fail")
+	}
+}
+
+func TestCheckedOps(t *testing.T) {
+	if v, ok := Add(3, 4); !ok || v != 7 {
+		t.Fatalf("Add = %d, %v", v, ok)
+	}
+	if _, ok := Add(math.MaxInt64, 1); ok {
+		t.Fatal("Add overflow must fail")
+	}
+	if _, ok := Add(math.MinInt64, -1); ok {
+		t.Fatal("Add underflow must fail")
+	}
+	if v, ok := Sub(3, 10); !ok || v != -7 {
+		t.Fatalf("Sub = %d, %v", v, ok)
+	}
+	if _, ok := Sub(0, math.MinInt64); ok {
+		t.Fatal("Sub of MinInt64 must fail")
+	}
+	if v, ok := Mul(1<<30, 4); !ok || v != 1<<32 {
+		t.Fatalf("Mul = %d, %v", v, ok)
+	}
+	if _, ok := Mul(1<<40, 1<<40); ok {
+		t.Fatal("Mul overflow must fail")
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	cases := []struct {
+		a, p, q int64
+		want    int64
+		ok      bool
+	}{
+		{12, 5, 4, 15, true},
+		{-12, 5, 4, -15, true},
+		{12, -5, 4, -15, true},
+		{-12, -5, 4, 15, true},
+		{12, 5, 8, 0, false}, // 60/8 inexact
+		{0, 5, 4, 0, true},
+		{math.MaxInt64, 2, 2, math.MaxInt64, true}, // 128-bit intermediate
+		{math.MaxInt64, 3, 2, 0, false},            // result overflows
+		{12, 5, 0, 0, false},
+		{12, 5, -4, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := MulDiv(c.a, c.p, c.q)
+		if ok != c.ok || got != c.want {
+			t.Fatalf("MulDiv(%d, %d, %d) = %d, %v; want %d, %v", c.a, c.p, c.q, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package fixed
+
+import (
+	"math/big"
+	"testing"
+
+	"gcs/internal/rat"
+)
+
+// FuzzLane pins the fixed-point lane against internal/rat the same way rat's
+// FuzzArith pins rat against math/big.Rat: for random rationals that land on
+// a detected common grid, every tick-space operation must agree exactly with
+// the rat-space operation, and conversions must round-trip byte-identically.
+func FuzzLane(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(4))
+	f.Add(int64(-7), int64(16), int64(5), int64(8))
+	f.Add(int64(17), int64(16), int64(1), int64(1))
+	f.Add(int64(1), int64(3), int64(1), int64(7))
+	f.Add(int64(1)<<40, int64(3), int64(-1), int64(9))
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		if ad == 0 || bd == 0 {
+			t.Skip()
+		}
+		a, err := rat.FromFrac(an, ad)
+		if err != nil {
+			t.Skip()
+		}
+		b, err := rat.FromFrac(bn, bd)
+		if err != nil {
+			t.Skip()
+		}
+		det := NewDetector()
+		det.AddValue(a)
+		det.AddValue(b)
+		scale, ok := det.Scale()
+		if !ok {
+			return // denominators past MaxScale: lane correctly refuses
+		}
+		at, aok := FromRat(a, scale)
+		bt, bok := FromRat(b, scale)
+		// The scale is the LCM of both denominators, so conversion can fail
+		// only by magnitude overflow — never by being off-grid.
+		if !aok || !bok {
+			return
+		}
+
+		// Round-trip is byte-identical, and agrees with big.Rat.
+		if got := ToRat(at, scale); got.Key() != a.Key() {
+			t.Fatalf("round trip %s → %d/%d → %s", a.Key(), at, scale, got.Key())
+		}
+		want := new(big.Rat).SetFrac64(an, ad)
+		if got := new(big.Rat).SetFrac64(at, scale); got.Cmp(want) != 0 {
+			t.Fatalf("ticks %d/%d = %s, want %s", at, scale, got, want)
+		}
+
+		// Ordering in tick space is ordering in rat space.
+		if (at < bt) != a.Less(b) || (at == bt) != a.Equal(b) {
+			t.Fatalf("tick order (%d vs %d) disagrees with %s vs %s", at, bt, a, b)
+		}
+
+		// Addition and subtraction.
+		if sum, ok := Add(at, bt); ok {
+			if got, want := ToRat(sum, scale), a.Add(b); got.Key() != want.Key() {
+				t.Fatalf("Add: %d ticks = %s, want %s", sum, got.Key(), want.Key())
+			}
+		}
+		if diff, ok := Sub(at, bt); ok {
+			if got, want := ToRat(diff, scale), a.Sub(b); got.Key() != want.Key() {
+				t.Fatalf("Sub: %d ticks = %s, want %s", diff, got.Key(), want.Key())
+			}
+		}
+
+		// Multiplying ticks by the rational p/q (clock-rate application): when
+		// MulDiv reports exact, the product is on the grid and must match the
+		// rat-lane product bit for bit.
+		p, pok := b.Num()
+		q, qok := b.Den()
+		if pok && qok && q > 0 {
+			if prod, ok := MulDiv(at, p, q); ok {
+				want := a.Mul(b)
+				wt, wok := FromRat(want, scale)
+				if !wok || wt != prod {
+					t.Fatalf("MulDiv(%d, %d, %d) = %d; rat product %s → %d, %v", at, p, q, prod, want, wt, wok)
+				}
+				if got := ToRat(prod, scale); got.Key() != want.Key() {
+					t.Fatalf("MulDiv product %s, want %s", got.Key(), want.Key())
+				}
+			}
+		}
+	})
+}

@@ -20,10 +20,14 @@
 // The gated workloads mirror the benchmarks named in the CI workflow —
 // BenchmarkEngineStream (the E12 streaming engine workload),
 // BenchmarkEngineFork (the fork-and-suffix unit of prefix-cached search),
-// BenchmarkAdaptiveRun (the E14 adaptive-adversary path), and
-// BenchmarkSearchPrefixCached / BenchmarkSearchEndToEnd (the E13 search
-// workload) — so a local `gcsbench -perf` and the CI gate watch the same hot
-// paths.
+// BenchmarkEngineForkGradient (the fork-only unit on a wide gradient line,
+// gating the copy-on-write clone discipline), BenchmarkAdaptiveRun (the E14
+// adaptive-adversary path), and BenchmarkSearchPrefixCached /
+// BenchmarkSearchEndToEnd (the E13 search workload) — so a local `gcsbench
+// -perf` and the CI gate watch the same hot paths. Measurements carry the
+// arithmetic lane their engines ran on ("fixed" or "rat"), and the snapshot
+// includes a rat-lane twin of the cached search, so the campaign planner can
+// price both lanes from measurement rather than guesswork.
 package perf
 
 import (
@@ -47,15 +51,19 @@ const stepsUnit = "steps/op"
 
 // Workload is one gated performance scenario, runnable under
 // testing.Benchmark. Bench must call b.ReportAllocs and report the number of
-// engine events dispatched per iteration as the "steps/op" metric.
+// engine events dispatched per iteration as the "steps/op" metric. Lane
+// records the arithmetic lane the workload's engines run on ("fixed" or
+// "rat"), so snapshots price the two lanes separately.
 type Workload struct {
 	Name  string
+	Lane  string
 	Bench func(b *testing.B)
 }
 
 // Measurement is one workload's measured cost in machine-readable form.
 type Measurement struct {
 	Name          string  `json:"name"`
+	Lane          string  `json:"lane,omitempty"`
 	Iterations    int     `json:"iterations"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
@@ -67,8 +75,10 @@ type Measurement struct {
 
 // Workloads returns the gated scenarios: the E12 streaming-engine workload
 // at two durations, the fork-and-suffix unit of prefix-cached evaluation,
-// the E14 adaptive-adversary run, and the E13 search workload through both
-// evaluation paths.
+// the fork-only unit on a wide gradient line (per-node estimate state at its
+// heaviest), the E14 adaptive-adversary run, the E13 search workload through
+// both evaluation paths, and a rat-lane twin of the cached search so the
+// snapshot carries a measured ns/step for both arithmetic lanes.
 func Workloads() ([]Workload, error) {
 	ws := []Workload{}
 	for _, dur := range []int64{32, 96} {
@@ -82,20 +92,28 @@ func Workloads() ([]Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	forkGrad, err := engineForkGradientWorkload()
+	if err != nil {
+		return nil, err
+	}
 	adaptive, err := adaptiveRunWorkload()
 	if err != nil {
 		return nil, err
 	}
-	ws = append(ws, fork, adaptive)
-	cached, err := searchWorkload(false)
+	ws = append(ws, fork, forkGrad, adaptive)
+	cached, err := searchWorkload(false, engine.LaneAuto)
 	if err != nil {
 		return nil, err
 	}
-	scratch, err := searchWorkload(true)
+	scratch, err := searchWorkload(true, engine.LaneAuto)
 	if err != nil {
 		return nil, err
 	}
-	return append(ws, cached, scratch), nil
+	ratCached, err := searchWorkload(false, engine.LaneRat)
+	if err != nil {
+		return nil, err
+	}
+	return append(ws, cached, scratch, ratCached), nil
 }
 
 // engineStreamWorkload mirrors BenchmarkEngineStream: a 64-node drifting
@@ -113,6 +131,7 @@ func engineStreamWorkload(dur int64) (Workload, error) {
 	duration := rat.FromInt(dur)
 	return Workload{
 		Name: fmt.Sprintf("EngineStream/dur=%d", dur),
+		Lane: "fixed",
 		Bench: func(b *testing.B) {
 			b.ReportAllocs()
 			var steps uint64
@@ -155,6 +174,7 @@ func engineForkWorkload() (Workload, error) {
 	}
 	return Workload{
 		Name: "EngineFork/line17",
+		Lane: "fixed",
 		Bench: func(b *testing.B) {
 			eng, err := engine.New(net,
 				engine.WithProtocol(algorithms.MaxGossip(rat.FromInt(1))),
@@ -186,6 +206,48 @@ func engineForkWorkload() (Workload, error) {
 	}, nil
 }
 
+// engineForkGradientWorkload mirrors BenchmarkEngineForkGradient: the fork
+// operation alone on a warmed 33-node gradient line, where every node
+// carries a neighbor-estimate table. It gates the copy-on-write clone
+// discipline — allocs/op here must stay O(1) in network width.
+func engineForkGradientWorkload() (Workload, error) {
+	const n = 33
+	net, err := network.Line(n)
+	if err != nil {
+		return Workload{}, err
+	}
+	scheds, err := clock.Diverse(n, rat.FromInt(1), rat.MustFrac(5, 4), 4, 7)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name: "EngineForkGradient/line33",
+		Lane: "fixed",
+		Bench: func(b *testing.B) {
+			eng, err := engine.New(net,
+				engine.WithProtocol(algorithms.Gradient(algorithms.DefaultGradientParams())),
+				engine.WithAdversary(engine.HashAdversary{Seed: 7, Denom: 8}),
+				engine.WithSchedules(scheds),
+				engine.WithRho(rat.MustFrac(1, 2)),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.RunUntil(rat.FromInt(16)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Fork(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(eng.Steps()), stepsUnit)
+		},
+	}, nil
+}
+
 // adaptiveRunWorkload mirrors BenchmarkAdaptiveRun: the generalized §2
 // online scheduler on the E14 two-node d=8 cell, gating the stateful
 // observe-and-decide adversary path.
@@ -204,6 +266,7 @@ func adaptiveRunWorkload() (Workload, error) {
 	scheds[0] = clock.Constant(p.RateBandHigh())
 	return Workload{
 		Name: "AdaptiveRun/E14",
+		Lane: "fixed",
 		Bench: func(b *testing.B) {
 			b.ReportAllocs()
 			var steps uint64
@@ -241,8 +304,11 @@ func adaptiveRunWorkload() (Workload, error) {
 
 // searchWorkload mirrors BenchmarkSearchPrefixCached / BenchmarkSearchEndToEnd:
 // the E13 -long two-node diameter-16 search configuration, evaluated through
-// the prefix-tree scheduler or from scratch.
-func searchWorkload(disableCache bool) (Workload, error) {
+// the prefix-tree scheduler or from scratch. lane = LaneRat forces the whole
+// campaign onto exact rational arithmetic (via the process-wide default, the
+// same hook the differential tests use), measuring what a configuration that
+// defeats fixed-lane detection would cost.
+func searchWorkload(disableCache bool, lane engine.Lane) (Workload, error) {
 	d := rat.FromInt(16)
 	net, err := network.TwoNode(d)
 	if err != nil {
@@ -263,9 +329,19 @@ func searchWorkload(disableCache bool) (Workload, error) {
 	if disableCache {
 		name = "SearchEndToEnd/E13"
 	}
+	laneTag := "fixed"
+	if lane == engine.LaneRat {
+		name += "/rat"
+		laneTag = "rat"
+	}
 	return Workload{
 		Name: name,
+		Lane: laneTag,
 		Bench: func(b *testing.B) {
+			if lane == engine.LaneRat {
+				engine.SetDefaultLane(engine.LaneRat)
+				defer engine.SetDefaultLane(engine.LaneAuto)
+			}
 			b.ReportAllocs()
 			var steps uint64
 			for i := 0; i < b.N; i++ {
@@ -286,6 +362,7 @@ func Measure(w Workload) Measurement {
 	r := testing.Benchmark(w.Bench)
 	m := Measurement{
 		Name:        w.Name,
+		Lane:        w.Lane,
 		Iterations:  r.N,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: float64(r.AllocsPerOp()),

@@ -588,3 +588,36 @@ func TestScriptPrefixClamps(t *testing.T) {
 		t.Fatalf("prefix(1) has %d entries, want 1", len(got))
 	}
 }
+
+// TestSearchLaneEquivalence: the whole search pipeline — prefix-cached forks
+// and full re-simulation alike — returns byte-identical Results whether the
+// engines inside it run on the fixed-point lane (the default on these
+// common-denominator workloads) or are forced onto the rat lane. Step
+// accounting must match too: the lane changes arithmetic representation,
+// never which events dispatch.
+func TestSearchLaneEquivalence(t *testing.T) {
+	auto, err := Search(lineOpts(t, 5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine.SetDefaultLane(engine.LaneRat)
+	defer engine.SetDefaultLane(engine.LaneAuto)
+
+	ratCached, err := Search(lineOpts(t, 5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, auto, ratCached)
+	if auto.EngineSteps != ratCached.EngineSteps {
+		t.Fatalf("engine steps differ across lanes: %d vs %d", auto.EngineSteps, ratCached.EngineSteps)
+	}
+
+	scratchOpts := lineOpts(t, 5, 4)
+	scratchOpts.DisablePrefixCache = true
+	ratScratch, err := Search(scratchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, auto, ratScratch)
+}

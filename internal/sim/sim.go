@@ -28,6 +28,9 @@ type (
 	Node = engine.Node
 	// Protocol instantiates per-node automata.
 	Protocol = engine.Protocol
+	// BulkCloneProtocol is the optional slab-clone extension Engine.Fork
+	// prefers over per-node CloneState.
+	BulkCloneProtocol = engine.BulkCloneProtocol
 	// Runtime is a node's interface to the simulated world.
 	Runtime = engine.Runtime
 	// Adversary chooses message delays.
