@@ -51,7 +51,7 @@ bench-perf:
 # on the merge base; pipe each into a file and compare with
 # `go run ./cmd/perfgate -base base.txt -head head.txt` (and/or benchstat).
 bench-gated:
-	$(GO) test -bench 'EngineStream|EngineFork|EngineForkGradient|AdaptiveRun|SearchPrefixCached|SearchEndToEnd' \
+	$(GO) test -bench 'EngineStream|EngineFork|EngineForkGradient|AdaptiveRun|SearchPrefixCached|SearchEndToEnd|SearchRateWindows' \
 		-benchmem -count 6 -run '^$$' ./...
 
 # Distributed-search pricing smoke: plan the committed example campaign
@@ -66,7 +66,7 @@ plan-smoke:
 # main; run it locally only to inspect the mechanism — local timings do not
 # belong in the shared curve.
 bench-history:
-	$(GO) test -bench 'EngineStream|EngineFork|EngineForkGradient|AdaptiveRun|SearchPrefixCached|SearchEndToEnd' \
+	$(GO) test -bench 'EngineStream|EngineFork|EngineForkGradient|AdaptiveRun|SearchPrefixCached|SearchEndToEnd|SearchRateWindows' \
 		-benchmem -count 6 -run '^$$' ./... > bench-head.txt
 	$(GO) run ./cmd/perfgate -append -head bench-head.txt \
 		-history dev/bench/data.js \

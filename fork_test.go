@@ -180,6 +180,153 @@ func TestForkDeterminismMatrix(t *testing.T) {
 	}
 }
 
+// TestScheduleSwapForkMatrix: the fork-determinism matrix for mid-run
+// schedule surgery — a trunk run under the base schedules, forked at the
+// first event at/after a mutated window's start with the mutated schedule
+// swapped into the fork (engine and trackers alike), must be byte-identical
+// to a fresh engine run end to end under the swapped schedule set, across
+// line/ring/grid topologies × every protocol in the portfolio. This is the
+// contract rate-window mutants in the prefix-cached search stand on: timer
+// events re-derive their firing times from their hardware-clock targets
+// through the new schedule, deliveries keep their real times, and nothing
+// else moves.
+func TestScheduleSwapForkMatrix(t *testing.T) {
+	dur := gcs.R(12)
+	rho := gcs.Frac(1, 2)
+	from, to := gcs.R(4), gcs.R(8)
+	// Pin the window to 1+ρ: outside the diverse band below, so the swapped
+	// schedule always differs from the base inside [from, to).
+	pinned := gcs.R(1).Add(rho)
+	for _, net := range forkTopologies(t) {
+		for _, proto := range gcs.AllProtocols() {
+			net, proto := net, proto
+			t.Run(fmt.Sprintf("%s/%s", net.Name(), proto.Name()), func(t *testing.T) {
+				base, err := gcs.DiverseSchedules(net.N(), gcs.Frac(3, 4), gcs.Frac(5, 4), 4, 17)
+				if err != nil {
+					t.Fatal(err)
+				}
+				node := net.N() - 1
+				swapped, err := base[node].ModifyWindow(from, to, func(gcs.Rat) gcs.Rat { return pinned })
+				if err != nil {
+					t.Fatal(err)
+				}
+				swappedSet := append([]*gcs.Schedule(nil), base...)
+				swappedSet[node] = swapped
+				adv := gcs.HashAdversary{Seed: 7, Denom: 8}
+				build := func(scheds []*gcs.Schedule) forkRun {
+					t.Helper()
+					skew, err := gcs.NewSkewTracker(net, scheds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					valid := gcs.NewValidityTracker(scheds)
+					rec := gcs.NewRecorder(net.N())
+					eng, err := gcs.NewEngine(net,
+						gcs.WithProtocol(proto),
+						gcs.WithAdversary(adv),
+						gcs.WithSchedules(scheds),
+						gcs.WithRho(rho),
+						gcs.WithObservers(rec, skew, valid),
+					)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return forkRun{eng: eng, rec: rec, skew: skew, valid: valid}
+				}
+
+				// Fresh end-to-end run under the swapped set: the reference.
+				fresh := build(swappedSet)
+				if err := fresh.eng.RunUntil(dur); err != nil {
+					t.Fatal(err)
+				}
+				freshExec, err := fresh.eng.Execution(fresh.rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Trunk under the base set to just before the window start —
+				// the schedules agree there — then fork and swap.
+				trunk := build(base)
+				for {
+					nt, ok := trunk.eng.NextEventTime()
+					if !ok || !nt.Less(from) {
+						break
+					}
+					if _, err := trunk.eng.Step(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				fork, err := trunk.eng.Fork()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fork.SwapSchedule(node, swapped); err != nil {
+					t.Fatal(err)
+				}
+				frec := trunk.rec.Clone()
+				fskew := trunk.skew.Clone()
+				if err := fskew.SwapSchedule(node, swapped); err != nil {
+					t.Fatal(err)
+				}
+				fvalid := trunk.valid.Clone()
+				if err := fvalid.SwapSchedule(node, swapped); err != nil {
+					t.Fatal(err)
+				}
+				fork.Observe(frec, fskew, fvalid)
+				if err := fork.RunUntil(dur); err != nil {
+					t.Fatal(err)
+				}
+				forkExec, err := fork.Execution(frec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				execEqual(t, "swapped fork vs fresh", freshExec, forkExec)
+				if fork.Steps() != fresh.eng.Steps() {
+					t.Fatalf("swapped fork dispatched %d events, fresh %d", fork.Steps(), fresh.eng.Steps())
+				}
+
+				// The trunk is untouched by the swap on the fork: finishing it
+				// under the base set still matches a fresh base-set run.
+				baseFresh := build(base)
+				if err := baseFresh.eng.RunUntil(dur); err != nil {
+					t.Fatal(err)
+				}
+				baseExec, err := baseFresh.eng.Execution(baseFresh.rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := trunk.eng.RunUntil(dur); err != nil {
+					t.Fatal(err)
+				}
+				trunkExec, err := trunk.eng.Execution(trunk.rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				execEqual(t, "trunk vs fresh base run", baseExec, trunkExec)
+
+				// Swapped online trackers vs post-hoc checkers on the forked
+				// execution, and vs the fresh reference's own trackers.
+				if err := fskew.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if g, og := gcs.GlobalSkew(forkExec), fskew.Global(); !og.Skew.Equal(g.Skew) {
+					t.Fatalf("swapped tracker global %s vs post-hoc %s", og.Skew, g.Skew)
+				}
+				if l, ol := gcs.LocalSkew(forkExec), fskew.Local(); !ol.Skew.Equal(l.Skew) {
+					t.Fatalf("swapped tracker local %s vs post-hoc %s", ol.Skew, l.Skew)
+				}
+				perr, oerr := gcs.CheckValidity(forkExec), fvalid.Err()
+				if (perr == nil) != (oerr == nil) {
+					t.Fatalf("swapped validity %v vs post-hoc %v", oerr, perr)
+				}
+				if !fresh.skew.Global().Skew.Equal(fskew.Global().Skew) {
+					t.Fatalf("fresh tracker global %s vs swapped fork %s", fresh.skew.Global().Skew, fskew.Global().Skew)
+				}
+			})
+		}
+	}
+}
+
 // TestStatefulAdversaryForkMatrix: the fork-determinism matrix for stateful
 // adversaries — an adaptive adversary (the online §2 scheduler) driven on a
 // fork, and on the trunk after forking, must be byte-identical to two

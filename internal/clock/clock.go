@@ -154,6 +154,31 @@ func (s *Schedule) ValidateRange(from, to, lo, hi rat.Rat) error {
 	return nil
 }
 
+// AgreesBefore reports whether s and o induce the same clock on [0, t]:
+// identical rates everywhere on [0, t), hence identical H on [0, t] (and
+// identical inversions for readings <= H(t)). Rates are piecewise constant
+// and right-continuous, so it suffices to compare the two schedules at every
+// segment start of either that precedes t. A non-positive t is vacuously
+// true. This is the precondition for swapping a schedule into a running
+// engine (Engine.SwapSchedule): agreement before t means nothing already
+// dispatched would have happened differently.
+func (s *Schedule) AgreesBefore(o *Schedule, t rat.Rat) bool {
+	if s == o {
+		return true
+	}
+	for _, side := range [2]*Schedule{s, o} {
+		for _, seg := range side.rates {
+			if seg.At.GreaterEq(t) {
+				break // segment starts strictly increase
+			}
+			if !s.RateAt(seg.At).Equal(o.RateAt(seg.At)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // WithRateFrom returns a copy whose rate is `rate` on [at, +∞) and unchanged
 // before at. This is the Add Skew lemma's surgery: node k keeps its α rates
 // up to T_k and runs at γ afterwards.

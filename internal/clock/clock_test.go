@@ -227,6 +227,43 @@ func TestModifyWindowZeroWidthNoOp(t *testing.T) {
 	}
 }
 
+// TestAgreesBefore: the precondition check Engine.SwapSchedule stands on —
+// two schedules agree before t exactly when their rate functions coincide on
+// [0, t), independent of how the segment lists are cut.
+func TestAgreesBefore(t *testing.T) {
+	base := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(10), Rate: rf(9, 8)},
+	})
+	mod, err := base.ModifyWindow(ri(4), ri(8), func(rat.Rat) rat.Rat { return rf(3, 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.AgreesBefore(base, ri(100)) {
+		t.Error("schedule does not agree with itself")
+	}
+	if !mod.AgreesBefore(base, ri(4)) || !base.AgreesBefore(mod, ri(4)) {
+		t.Error("window surgery at 4 must agree before its own start")
+	}
+	if mod.AgreesBefore(base, ri(5)) || base.AgreesBefore(mod, ri(5)) {
+		t.Error("window surgery must disagree once the window opens")
+	}
+	// Vacuous domain: nothing precedes 0, so any two schedules agree.
+	if !Constant(ri(1)).AgreesBefore(Constant(rf(1, 2)), ri(0)) {
+		t.Error("empty prefix must agree vacuously")
+	}
+	// Segment cuts don't matter: a redundant breakpoint with an equal rate
+	// describes the same function.
+	redundant := mustRates(t, []RateSeg{
+		{At: ri(0), Rate: ri(1)},
+		{At: ri(3), Rate: ri(1)},
+		{At: ri(10), Rate: rf(9, 8)},
+	})
+	if !redundant.AgreesBefore(base, ri(100)) || !base.AgreesBefore(redundant, ri(100)) {
+		t.Error("redundant segmentation of the same rate function must agree")
+	}
+}
+
 func TestModifyWindowCoalesces(t *testing.T) {
 	s := Constant(ri(1))
 	mod, err := s.ModifyWindow(ri(2), ri(4), func(r rat.Rat) rat.Rat { return r })

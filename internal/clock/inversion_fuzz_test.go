@@ -1,0 +1,88 @@
+package clock
+
+import (
+	"testing"
+
+	"gcs/internal/fixed"
+	"gcs/internal/rat"
+)
+
+// FuzzScheduleInversion pins window-modified clock inversion across both
+// arithmetic lanes: a fuzzed base schedule gets rate surgery over a fuzzed
+// window (exactly the search's ModifyWindow move), compiles onto the detected
+// tick grid, and every on-grid evaluation and inversion must agree bit for
+// bit with the brute-force rational evaluation — the equivalence
+// Engine.SwapSchedule's timer re-derivation stands on.
+func FuzzScheduleInversion(f *testing.F) {
+	f.Add(int64(2), int64(-3), int64(4), int64(3), int64(2), int64(5))
+	f.Add(int64(0), int64(8), int64(1), int64(0), int64(4), int64(1))
+	f.Add(int64(-8), int64(8), int64(0), int64(7), int64(0), int64(-8))
+	f.Fuzz(func(t *testing.T, k1, k2, brk, from, width, pin int64) {
+		// Rates live on the sixteenths grid in [1/2, 3/2]: always positive,
+		// always compilable at the detected scale.
+		rate := func(k int64) rat.Rat {
+			k %= 9
+			return rat.FromInt(1).Add(rat.MustFrac(k, 16))
+		}
+		norm := func(v, m int64) int64 {
+			v %= m
+			if v < 0 {
+				v += m
+			}
+			return v
+		}
+		segs := []RateSeg{{At: rat.FromInt(0), Rate: rate(k1)}}
+		if b := norm(brk, 12); b > 0 {
+			segs = append(segs, RateSeg{At: rat.FromInt(b), Rate: rate(k2)})
+		}
+		base, err := FromRates(segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := norm(from, 12)
+		hi := lo + 1 + norm(width, 8)
+		mod, err := base.ModifyWindow(rat.FromInt(lo), rat.FromInt(hi), func(rat.Rat) rat.Rat { return rate(pin) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := fixed.NewDetector()
+		mod.AddToDetector(d)
+		d.AddDen(16)
+		scale, ok := d.Scale()
+		if !ok {
+			t.Fatal("sixteenths-grid schedule must detect a scale")
+		}
+		fs, ok := mod.CompileFixed(scale)
+		if !ok {
+			t.Fatal("sixteenths-grid schedule must compile")
+		}
+		for tick := int64(0); tick <= 24*scale; tick += scale / 16 {
+			tr := fixed.ToRat(tick, scale)
+			wantHW := mod.HW(tr)
+			hwTick, ok := fs.HWTicks(tick)
+			if !ok {
+				if _, convOK := fixed.FromRat(wantHW, scale); convOK {
+					t.Fatalf("HWTicks(%d) refused the on-grid reading %s", tick, wantHW)
+				}
+				continue
+			}
+			if got := fixed.ToRat(hwTick, scale); got.Key() != wantHW.Key() {
+				t.Fatalf("HWTicks(%d) = %s, want %s", tick, got.Key(), wantHW.Key())
+			}
+			wantReal, err := mod.RealAt(wantHW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			realTick, ok := fs.RealAtTicks(hwTick)
+			if !ok {
+				if _, convOK := fixed.FromRat(wantReal, scale); convOK {
+					t.Fatalf("RealAtTicks(%d) refused the on-grid time %s", hwTick, wantReal)
+				}
+				continue
+			}
+			if got := fixed.ToRat(realTick, scale); got.Key() != wantReal.Key() {
+				t.Fatalf("RealAtTicks(%d) = %s, want %s", hwTick, got.Key(), wantReal.Key())
+			}
+		}
+	})
+}

@@ -34,6 +34,14 @@ type event struct {
 	// and forks inherit queued readings instead of re-deriving them.
 	hw    rat.Rat
 	hasHW bool
+	// hwTarget marks hw as the event's source of truth rather than a cache:
+	// a timer fires when the node's hardware clock reads hw, and time/tick
+	// are merely that target pushed through the node's current rate
+	// schedule. SwapSchedule re-derives time and tick from hw for such
+	// events; for time-authoritative events (init, recv — a delivery's real
+	// time is send + delay regardless of the recipient's clock) it instead
+	// re-derives the cached reading from the unchanged time.
+	hwTarget bool
 }
 
 // kindRank orders simultaneous events: inits, then message deliveries, then

@@ -17,6 +17,9 @@ type Metrics struct {
 	Recycled *obs.Counter
 	// Forks counts Engine.Fork calls.
 	Forks *obs.Counter
+	// ScheduleSwaps counts Engine.SwapSchedule calls — mid-run schedule
+	// replacements that re-derived queued events onto a new rate schedule.
+	ScheduleSwaps *obs.Counter
 	// ClockCacheHits / ClockCacheMisses count compiled-logical-clock memo
 	// outcomes during Execution.
 	ClockCacheHits   *obs.Counter
@@ -41,6 +44,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Steps:            r.Counter("gcs_engine_steps_total", "engine events dispatched"),
 		Recycled:         r.Counter("gcs_engine_events_recycled_total", "event slab slots recycled through the free list"),
 		Forks:            r.Counter("gcs_engine_forks_total", "engine forks taken"),
+		ScheduleSwaps:    r.Counter("gcs_engine_schedule_swaps_total", "mid-run schedule swaps re-deriving queued events"),
 		ClockCacheHits:   r.Counter("gcs_engine_clock_cache_hits_total", "compiled logical-clock cache hits"),
 		ClockCacheMisses: r.Counter("gcs_engine_clock_cache_misses_total", "compiled logical-clock cache misses"),
 		FixedLaneRuns:    r.Counter("gcs_engine_fixed_lane_runs_total", "engines constructed on the fixed-point tick lane"),

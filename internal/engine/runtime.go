@@ -218,6 +218,9 @@ func (rt *Runtime) SetTimerAtHW(hw rat.Rat, timerID int) {
 		tickOK:  tickOK,
 		hw:      hw,
 		hasHW:   true,
+		// The target reading, not a cache: SwapSchedule re-derives time and
+		// tick from hw when the node's schedule changes under a queued timer.
+		hwTarget: true,
 	}
 	e.queue.push(idx)
 }

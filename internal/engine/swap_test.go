@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"gcs/internal/clock"
+	"gcs/internal/obs"
+	"gcs/internal/rat"
+)
+
+// swapTestScheds builds n constant-rate-1 schedules plus a variant of node
+// `node` whose rates inside [from, to) are pinned to `pin`.
+func swapTestScheds(t *testing.T, n, node int, from, to, pin rat.Rat) (base, swapped []*clock.Schedule) {
+	t.Helper()
+	base = make([]*clock.Schedule, n)
+	for i := range base {
+		base[i] = clock.Constant(ri(1))
+	}
+	s, err := base[node].ModifyWindow(from, to, func(rat.Rat) rat.Rat { return pin })
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped = append([]*clock.Schedule(nil), base...)
+	swapped[node] = s
+	return base, swapped
+}
+
+// TestSwapScheduleMatchesFreshRun: fork a trunk just before the mutated
+// window opens, swap the schedule in, and drive the fork in lockstep with a
+// fresh engine built on the swapped set from time zero — every dispatch must
+// land on the same instant, and the queued timers (hardware targets) must
+// re-derive to exactly the fresh run's firing times. (The cross-protocol
+// byte-identical matrix lives in the root package's fork_test.go.)
+func TestSwapScheduleMatchesFreshRun(t *testing.T) {
+	from := ri(3)
+	base, swappedSet := swapTestScheds(t, 3, 1, from, ri(6), rf(3, 2))
+	fresh := newTestEngine(t, 3, tickProtocol{period: ri(1)}, WithSchedules(swappedSet))
+	trunk := newTestEngine(t, 3, tickProtocol{period: ri(1)}, WithSchedules(base))
+	for {
+		nt, ok := trunk.NextEventTime()
+		if !ok || !nt.Less(from) {
+			break
+		}
+		if _, err := trunk.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.SwapSchedule(1, swappedSet[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Lockstep to the horizon: the prefix replays on the fresh engine, then
+	// both dispatch the re-derived suffix.
+	for fresh.Steps() < fork.Steps() {
+		if ok, err := fresh.Step(); err != nil || !ok {
+			t.Fatalf("fresh prefix replay: ok=%v err=%v", ok, err)
+		}
+	}
+	for {
+		fOK, err := fork.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gOK, err := fresh.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fOK != gOK {
+			t.Fatalf("fork ok=%v, fresh ok=%v at step %d", fOK, gOK, fork.Steps())
+		}
+		if !fOK {
+			break
+		}
+		if !fork.Now().Equal(fresh.Now()) {
+			t.Fatalf("step %d: fork at %s, fresh at %s", fork.Steps(), fork.Now(), fresh.Now())
+		}
+		if fork.Steps() > 200 {
+			break // both engines agree over a long window; stop the unbounded tick run
+		}
+	}
+}
+
+// TestSwapScheduleErrors: every precondition fails loudly — invalid node,
+// nil schedule, drift-bound violation, divergence before Now(), and a
+// poisoned engine — and a successful swap counts in the metrics.
+func TestSwapScheduleErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	base, swappedSet := swapTestScheds(t, 3, 1, ri(3), ri(6), rf(3, 2))
+	eng := newTestEngine(t, 3, tickProtocol{period: ri(1)}, WithSchedules(base), WithMetrics(met))
+	if err := eng.RunUntil(ri(2)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		node int
+		s    *clock.Schedule
+		want string
+	}{
+		{"invalid node", 7, swappedSet[1], "invalid node"},
+		{"nil schedule", 1, nil, "nil schedule"},
+		{"drift violation", 1, clock.Constant(ri(3)), "drift"},
+		{"pre-now divergence", 1, clock.Constant(rf(5, 4)), "diverges"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := eng.SwapSchedule(tc.node, tc.s)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if met.ScheduleSwaps.Value() != 0 {
+		t.Fatalf("rejected swaps counted: %d", met.ScheduleSwaps.Value())
+	}
+	if err := eng.SwapSchedule(1, swappedSet[1]); err != nil {
+		t.Fatal(err)
+	}
+	if met.ScheduleSwaps.Value() != 1 {
+		t.Fatalf("ScheduleSwaps = %d, want 1", met.ScheduleSwaps.Value())
+	}
+
+	bad := newTestEngine(t, 2, selfSendProtocol{})
+	if _, err := bad.Step(); err == nil {
+		t.Fatal("self-send did not fail the run")
+	}
+	if err := bad.SwapSchedule(0, clock.Constant(ri(1))); err == nil || !strings.Contains(err.Error(), "failed engine") {
+		t.Fatalf("swap on poisoned engine: %v", err)
+	}
+}
+
+// TestSwapScheduleCopiesOnWrite: swapping a fork's schedule never leaks into
+// the trunk it was forked from — the schedule slices are shared by reference
+// at fork time and must be copied before mutation.
+func TestSwapScheduleCopiesOnWrite(t *testing.T) {
+	base, swappedSet := swapTestScheds(t, 3, 1, ri(3), ri(6), rf(3, 2))
+	trunk := newTestEngine(t, 3, tickProtocol{period: ri(1)}, WithSchedules(base))
+	if err := trunk.RunUntil(ri(2)); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.SwapSchedule(1, swappedSet[1]); err != nil {
+		t.Fatal(err)
+	}
+	if trunk.scheds[1] != base[1] {
+		t.Fatal("swap on the fork replaced the trunk's schedule")
+	}
+	if fork.scheds[1] != swappedSet[1] {
+		t.Fatal("swap did not take on the fork")
+	}
+}
+
+// TestSwapScheduleOffGridDropsLane: a swapped schedule whose rates do not fit
+// the detected tick grid drops the engine to the rat lane — and the run still
+// agrees with a fresh rat-lane engine on the swapped set.
+func TestSwapScheduleOffGridDropsLane(t *testing.T) {
+	base, _ := swapTestScheds(t, 3, 1, ri(3), ri(6), rf(3, 2))
+	// An in-drift rate with a huge denominator: off any detected scale.
+	offGrid, err := base[1].ModifyWindow(ri(3), ri(6), func(rat.Rat) rat.Rat {
+		return rat.MustFrac(1000003, 1000002)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newTestEngine(t, 3, tickProtocol{period: ri(1)}, WithSchedules(base))
+	if eng.scale == 0 {
+		t.Skip("fixed lane not engaged; lane-drop path unreachable")
+	}
+	if err := eng.RunUntil(ri(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SwapSchedule(1, offGrid); err != nil {
+		t.Fatal(err)
+	}
+	if eng.scale != 0 || eng.fscheds != nil || eng.nowTickOK {
+		t.Fatalf("off-grid swap kept the fixed lane: scale=%d", eng.scale)
+	}
+	if err := eng.RunUntil(ri(8)); err != nil {
+		t.Fatal(err)
+	}
+}

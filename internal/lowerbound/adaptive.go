@@ -56,6 +56,7 @@ var (
 	_ engine.Adversary         = (*AdaptiveScheduler)(nil)
 	_ engine.StatefulAdversary = (*AdaptiveScheduler)(nil)
 	_ engine.Observer          = (*AdaptiveScheduler)(nil)
+	_ engine.DenomHinter       = (*AdaptiveScheduler)(nil)
 )
 
 // NewAdaptiveScheduler builds the generalized §2 adversary for net: hold
@@ -122,6 +123,12 @@ func (a *AdaptiveScheduler) Delay(from, to int, _ uint64, _ rat.Rat, bound rat.R
 		return rat.Rat{}
 	}
 }
+
+// DelayDenom implements engine.DenomHinter: every delay this scheduler
+// returns is zero or the bound itself — integer multiples of the bound —
+// so D = 1 and the adaptive lower-bound runs stay on the fixed-point lane
+// whenever the schedules and bounds themselves fit the grid.
+func (a *AdaptiveScheduler) DelayDenom() int64 { return 1 }
 
 // OnAction implements engine.Observer: track each node's hardware reading
 // and arm the release the first time an event at the front node shows the

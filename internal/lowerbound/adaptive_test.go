@@ -9,6 +9,7 @@ import (
 	"gcs/internal/core"
 	"gcs/internal/engine"
 	"gcs/internal/network"
+	"gcs/internal/obs"
 	"gcs/internal/rat"
 	"gcs/internal/sim"
 )
@@ -64,6 +65,60 @@ func TestAdaptiveSchedulerDecisions(t *testing.T) {
 	}
 	if d := adv.Delay(0, 1, 9, rat.Rat{}, bound); !d.Equal(bound) {
 		t.Fatalf("post-release off-edge delay %s, want full bound", d)
+	}
+}
+
+// TestAdaptiveSchedulerFixedLane: the DelayDenom hint (delays are zero or
+// the bound — D = 1) lets an adaptive run engage the fixed-point lane,
+// counted via Metrics.FixedLaneRuns, and the fixed-lane run's trigger lands
+// on exactly the forced rat-lane run's release instant.
+func TestAdaptiveSchedulerFixedLane(t *testing.T) {
+	net, err := network.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	run := func(lane engine.Lane) (*AdaptiveScheduler, *engine.Metrics) {
+		t.Helper()
+		adv, err := NewAdaptiveScheduler(net, 0, 2, rat.MustFrac(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds := []*clock.Schedule{
+			clock.Constant(p.RateBandHigh()),
+			clock.Constant(rat.FromInt(1)),
+			clock.Constant(rat.FromInt(1)),
+		}
+		met := engine.NewMetrics(obs.NewRegistry())
+		eng, err := engine.New(net,
+			engine.WithProtocol(algorithms.MaxGossip(rat.FromInt(1))),
+			engine.WithAdversary(adv),
+			engine.WithSchedules(scheds),
+			engine.WithRho(p.Rho),
+			engine.WithLane(lane),
+			engine.WithMetrics(met),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(rat.FromInt(8)); err != nil {
+			t.Fatal(err)
+		}
+		return adv, met
+	}
+	fixedAdv, fixedMet := run(engine.LaneAuto)
+	if fixedMet.FixedLaneRuns.Value() != 1 || fixedMet.RatLaneRuns.Value() != 0 {
+		t.Fatalf("adaptive run off the fixed lane: fixed=%d rat=%d",
+			fixedMet.FixedLaneRuns.Value(), fixedMet.RatLaneRuns.Value())
+	}
+	ratAdv, ratMet := run(engine.LaneRat)
+	if ratMet.RatLaneRuns.Value() != 1 {
+		t.Fatalf("forced rat run counted %d rat-lane runs", ratMet.RatLaneRuns.Value())
+	}
+	fAt, fOK := fixedAdv.Released()
+	rAt, rOK := ratAdv.Released()
+	if fOK != rOK || !fOK || !fAt.Equal(rAt) {
+		t.Fatalf("release differs across lanes: fixed (%s, %v) vs rat (%s, %v)", fAt, fOK, rAt, rOK)
 	}
 }
 

@@ -77,8 +77,10 @@ type Measurement struct {
 // at two durations, the fork-and-suffix unit of prefix-cached evaluation,
 // the fork-only unit on a wide gradient line (per-node estimate state at its
 // heaviest), the E14 adaptive-adversary run, the E13 search workload through
-// both evaluation paths, and a rat-lane twin of the cached search so the
-// snapshot carries a measured ns/step for both arithmetic lanes.
+// both evaluation paths plus its windowed-rate-surgery variant (rate-window
+// mutants sharing the trunk via schedule swaps), and a rat-lane twin of the
+// cached search so the snapshot carries a measured ns/step for both
+// arithmetic lanes.
 func Workloads() ([]Workload, error) {
 	ws := []Workload{}
 	for _, dur := range []int64{32, 96} {
@@ -101,19 +103,23 @@ func Workloads() ([]Workload, error) {
 		return nil, err
 	}
 	ws = append(ws, fork, forkGrad, adaptive)
-	cached, err := searchWorkload(false, engine.LaneAuto)
+	cached, err := searchWorkload(false, engine.LaneAuto, 0)
 	if err != nil {
 		return nil, err
 	}
-	scratch, err := searchWorkload(true, engine.LaneAuto)
+	scratch, err := searchWorkload(true, engine.LaneAuto, 0)
 	if err != nil {
 		return nil, err
 	}
-	ratCached, err := searchWorkload(false, engine.LaneRat)
+	windows, err := searchWorkload(false, engine.LaneAuto, 4)
 	if err != nil {
 		return nil, err
 	}
-	return append(ws, cached, scratch, ratCached), nil
+	ratCached, err := searchWorkload(false, engine.LaneRat, 0)
+	if err != nil {
+		return nil, err
+	}
+	return append(ws, cached, scratch, windows, ratCached), nil
 }
 
 // engineStreamWorkload mirrors BenchmarkEngineStream: a 64-node drifting
@@ -302,13 +308,15 @@ func adaptiveRunWorkload() (Workload, error) {
 	}, nil
 }
 
-// searchWorkload mirrors BenchmarkSearchPrefixCached / BenchmarkSearchEndToEnd:
-// the E13 -long two-node diameter-16 search configuration, evaluated through
-// the prefix-tree scheduler or from scratch. lane = LaneRat forces the whole
+// searchWorkload mirrors BenchmarkSearchPrefixCached / BenchmarkSearchEndToEnd
+// / BenchmarkSearchRateWindows: the E13 -long two-node diameter-16 search
+// configuration, evaluated through the prefix-tree scheduler or from scratch,
+// optionally with windowed rate surgery (rateWindows > 0) fanning schedule-
+// swapped mutants off the shared trunk. lane = LaneRat forces the whole
 // campaign onto exact rational arithmetic (via the process-wide default, the
 // same hook the differential tests use), measuring what a configuration that
 // defeats fixed-lane detection would cost.
-func searchWorkload(disableCache bool, lane engine.Lane) (Workload, error) {
+func searchWorkload(disableCache bool, lane engine.Lane, rateWindows int) (Workload, error) {
 	d := rat.FromInt(16)
 	net, err := network.TwoNode(d)
 	if err != nil {
@@ -323,11 +331,15 @@ func searchWorkload(disableCache bool, lane engine.Lane) (Workload, error) {
 		Beam:               2,
 		DelayMutations:     8,
 		MutateTail:         rat.MustFrac(1, 2),
+		RateWindows:        rateWindows,
 		DisablePrefixCache: disableCache,
 	}
 	name := "SearchPrefixCached/E13"
 	if disableCache {
 		name = "SearchEndToEnd/E13"
+	}
+	if rateWindows > 0 {
+		name = fmt.Sprintf("SearchRateWindows/E13/w=%d", rateWindows)
 	}
 	laneTag := "fixed"
 	if lane == engine.LaneRat {

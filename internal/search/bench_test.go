@@ -104,6 +104,17 @@ func BenchmarkSearchPrefixCached(b *testing.B) {
 	benchSearch(b, longE13Opts(b))
 }
 
+// BenchmarkSearchRateWindows is the E13 -long workload with windowed rate
+// surgery enabled: each beam parent fans out rate-window mutants alongside
+// delay mutants, all sharing the parent's trunk — window mutants fork at
+// their window's start with the schedule swapped in. The steps/cand metric
+// against BenchmarkSearchEndToEnd quantifies the rate-mutant sharing win.
+func BenchmarkSearchRateWindows(b *testing.B) {
+	opt := longE13Opts(b)
+	opt.RateWindows = 4
+	benchSearch(b, opt)
+}
+
 func benchSearch(b *testing.B, opt Options) {
 	b.Helper()
 	// The CI perf gate watches this pair's allocs/op alongside ns/op.

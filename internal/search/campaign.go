@@ -120,11 +120,21 @@ type Candidate struct {
 	// Schedules, when non-nil, is a full base-schedule override (seeds and
 	// windowed mutants).
 	Schedules [][]clock.RateSeg `json:"schedules,omitempty"`
-	// Parent indexes Generation.Parents for delay mutants (-1: evaluate from
-	// scratch); DivIdx/DivEvent locate the first diverging decision.
+	// Parent indexes Generation.Parents for prefix-lineage mutants (-1:
+	// evaluate from scratch); DivIdx/DivEvent locate a delay mutant's first
+	// diverging decision.
 	Parent   int    `json:"parent"`
 	DivIdx   int    `json:"div_idx,omitempty"`
 	DivEvent uint64 `json:"div_event,omitempty"`
+	// SwapSched, when non-empty, marks a rate-window mutant: node SwapNode's
+	// schedule is replaced by SwapSched, which agrees with the parent's on
+	// [0, DivTime) — the worker forks the parent's trunk at the first event
+	// at/after DivTime and swaps the schedule into the fork. Note Schedules
+	// above still carries the candidate's fully materialized schedule set
+	// (swap applied), so evaluated candidates round-trip without lineage.
+	SwapNode  int             `json:"swap_node,omitempty"`
+	SwapSched []clock.RateSeg `json:"swap_sched,omitempty"`
+	DivTime   rat.Rat         `json:"div_time"`
 }
 
 // Generation is one campaign round's pending work in wire form: the distinct
@@ -282,7 +292,7 @@ func (c *Campaign) Generation() *Generation {
 				gen.Parents = append(gen.Parents, cd.parent)
 			}
 		}
-		gen.Candidates = append(gen.Candidates, Candidate{
+		wc := Candidate{
 			ID:        cd.id,
 			Script:    EncodeScript(cd.script),
 			Rates:     append([]rat.Rat(nil), cd.rates...),
@@ -290,7 +300,13 @@ func (c *Campaign) Generation() *Generation {
 			Parent:    p,
 			DivIdx:    cd.divIdx,
 			DivEvent:  cd.divEvent,
-		})
+		}
+		if cd.swapSched != nil {
+			wc.SwapNode = cd.swapNode
+			wc.SwapSched = cd.swapSched.Rates()
+			wc.DivTime = cd.divTime
+		}
+		gen.Candidates = append(gen.Candidates, wc)
 	}
 	return gen
 }
@@ -345,6 +361,18 @@ func EvaluateShard(opt Options, gen *Generation, lo, hi int) (*ShardResult, erro
 			cd.divIdx = wc.DivIdx
 			cd.divEvent = wc.DivEvent
 		}
+		if len(wc.SwapSched) > 0 {
+			ss, err := clock.FromRates(wc.SwapSched)
+			if err != nil {
+				return nil, fmt.Errorf("search: candidate %d swap schedule: %w", wc.ID, err)
+			}
+			if wc.SwapNode < 0 || wc.SwapNode >= opt.Net.N() {
+				return nil, fmt.Errorf("search: candidate %d swaps schedule of invalid node %d", wc.ID, wc.SwapNode)
+			}
+			cd.swapNode = wc.SwapNode
+			cd.swapSched = ss
+			cd.divTime = wc.DivTime
+		}
 		cands = append(cands, cd)
 	}
 	evals, dispatched := evalAll(opt, cands)
@@ -392,11 +420,14 @@ func buildShard(opt Options, evals []evaluation, dispatched uint64) *ShardResult
 	}
 	for _, ev := range top {
 		sr.Top = append(sr.Top, CandidateEval{
-			ID:        ev.cand.id,
-			Value:     ev.value,
-			Witness:   ev.witness,
-			Rates:     append([]rat.Rat(nil), ev.cand.rates...),
-			Schedules: EncodeSchedules(ev.cand.scheds),
+			ID:      ev.cand.id,
+			Value:   ev.value,
+			Witness: ev.witness,
+			Rates:   append([]rat.Rat(nil), ev.cand.rates...),
+			// Materialize the swap (schedOverride) so a beam entry decoded on
+			// the coordinator carries the candidate's true schedule set — the
+			// substrate its own mutations enumerate from — without lineage.
+			Schedules: EncodeSchedules(schedOverride(ev.cand)),
 			Log:       ev.log,
 		})
 	}

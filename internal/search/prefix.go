@@ -18,9 +18,16 @@
 // to there), and the cloned trackers carry the prefix metrics. Tests assert
 // byte-identical Results against DisablePrefixCache for every worker count.
 //
-// Rate mutants, windowed mutants, and seeds change hardware schedules from
-// time zero, so they share no prefix and evaluate from scratch on the same
-// worker pool.
+// Window mutants (rate surgery over [from, to)) share the same trunk: their
+// schedule agrees with the parent's on [0, from), so everything before the
+// first event at/after `from` is byte-identical to the parent's run. The
+// scheduler forks the trunk at exactly that moment — Engine.NextEventTime
+// tells it when, without dispatching anything — and swaps the mutated
+// schedule into the fork (Engine.SwapSchedule), which re-derives queued
+// timer times from their hardware targets through the new schedule; the
+// cloned skew tracker swaps alongside. Whole-run rate mutants and seeds
+// change hardware schedules from time zero, so they share no prefix and
+// evaluate from scratch on the same worker pool.
 //
 // Stateful tail adversaries (engine.StatefulAdversary) are fork-safe: every
 // trunk and every from-scratch evaluation runs against an independent clone
@@ -121,18 +128,47 @@ func evalAll(opt Options, cands []candidate) ([]evaluation, uint64) {
 }
 
 // runTrunk replays one parent's execution and forks a suffix evaluation for
-// each of its delay mutants, in divergence order. It returns the number of
-// events the trunk itself dispatched.
+// each of its delay and window mutants, in divergence order. Delay mutants
+// fork just before their diverging event; window mutants fork at the first
+// event at/after their mutated window's start, with the mutated schedule
+// swapped into the fork (and into the cloned tracker). Both orderings are
+// monotone, so the trunk only ever steps forward and is replayed at most
+// once per parent. It returns the number of events the trunk itself
+// dispatched.
 func runTrunk(opt Options, cands []candidate, idxs []int, plog *DecisionLog, results []evaluation, spawn func(func())) uint64 {
-	failFrom := func(k int, err error) {
-		for _, i := range idxs[k:] {
+	var delays, wins []int
+	for _, i := range idxs {
+		if cands[i].swapSched != nil {
+			wins = append(wins, i)
+		} else {
+			delays = append(delays, i)
+		}
+	}
+	sort.Slice(delays, func(a, b int) bool {
+		if cands[delays[a]].divEvent != cands[delays[b]].divEvent {
+			return cands[delays[a]].divEvent < cands[delays[b]].divEvent
+		}
+		return delays[a] < delays[b]
+	})
+	sort.Slice(wins, func(a, b int) bool {
+		if c := cands[wins[a]].divTime.Cmp(cands[wins[b]].divTime); c != 0 {
+			return c < 0
+		}
+		return wins[a] < wins[b]
+	})
+	di, wi := 0, 0
+	failRest := func(err error) {
+		for _, i := range delays[di:] {
+			results[i] = evaluation{cand: cands[i], err: err}
+		}
+		for _, i := range wins[wi:] {
 			results[i] = evaluation{cand: cands[i], err: err}
 		}
 	}
-	scheds := effectiveScheds(opt, cands[idxs[0]])
+	scheds := trunkScheds(opt, cands[idxs[0]])
 	skew, err := core.NewSkewTracker(opt.Net, scheds)
 	if err != nil {
-		failFrom(0, err)
+		failRest(err)
 		return 0
 	}
 	log := NewDecisionLog(opt.Net)
@@ -145,53 +181,94 @@ func runTrunk(opt Options, cands []candidate, idxs []int, plog *DecisionLog, res
 		engine.WithMetrics(opt.EngineMetrics),
 	)
 	if err != nil {
-		failFrom(0, err)
+		failRest(err)
 		return 0
 	}
-	for k, i := range idxs {
+	// dispatchFork branches candidate i off the trunk's current state and
+	// spawns its suffix evaluation. The fork's adversary is Fork's own clone
+	// of the trunk's scripted adversary — its tail carries the decision state
+	// accumulated over the shared prefix. Rebind the mutant's script over
+	// that tail, not over a pristine Base: a full re-simulation of this
+	// candidate would have evolved the very same tail state by this event.
+	// A window mutant additionally swaps its mutated schedule into the fork
+	// and the cloned tracker — re-deriving queued timer times from their
+	// hardware targets — before anything of the suffix runs.
+	dispatchFork := func(i int) {
 		c := cands[i]
-		target := c.divEvent
-		if target > 0 {
-			target-- // replay everything before the diverging event
-		}
-		for trunk.Steps() < target {
-			ok, err := trunk.Step()
-			if err != nil {
-				failFrom(k, err)
-				return trunk.Steps()
-			}
-			if !ok {
-				break // parent queue drained early; fork from the idle state
-			}
-		}
-		if err := skew.Err(); err != nil {
-			failFrom(k, err)
-			return trunk.Steps()
-		}
 		fork, err := trunk.Fork()
 		if err != nil {
 			results[i] = evaluation{cand: c, err: err}
-			continue
+			return
 		}
-		// The fork's adversary is Fork's own clone of the trunk's scripted
-		// adversary — its tail carries the decision state accumulated over
-		// the shared prefix. Rebind the mutant's script over that tail, not
-		// over a pristine Base: a full re-simulation of this candidate would
-		// have evolved the very same tail state by this event.
+		fskew := skew.Clone()
+		if c.swapSched != nil {
+			if err := fork.SwapSchedule(c.swapNode, c.swapSched); err != nil {
+				results[i] = evaluation{cand: c, err: err}
+				return
+			}
+			if err := fskew.SwapSchedule(c.swapNode, c.swapSched); err != nil {
+				results[i] = evaluation{cand: c, err: err}
+				return
+			}
+		}
 		tail := baseTail(opt)
 		if sc, ok := fork.Adversary().(engine.ScriptedAdversary); ok && sc.Fallback != nil {
 			tail = sc.Fallback
 		}
 		if err := fork.SetAdversary(engine.ScriptedAdversary{Delays: c.script, Fallback: tail}); err != nil {
 			results[i] = evaluation{cand: c, err: err}
-			continue
+			return
 		}
-		fskew := skew.Clone()
 		flog := log.Clone()
 		fork.Observe(fskew, flog)
 		prefix := fork.Steps()
-		i := i
 		spawn(func() { results[i] = finish(opt, c, fork, fskew, flog, prefix) })
+	}
+	for di < len(delays) || wi < len(wins) {
+		// Fork every window mutant whose divergence has arrived: the next
+		// pending event is at/after its window start (or the queue is idle),
+		// so nothing of its diverging suffix has been dispatched yet.
+		for wi < len(wins) {
+			if nt, ok := trunk.NextEventTime(); ok && nt.Less(cands[wins[wi]].divTime) {
+				break
+			}
+			dispatchFork(wins[wi])
+			wi++
+		}
+		// Fork every delay mutant positioned just before its diverging event.
+		for di < len(delays) {
+			target := cands[delays[di]].divEvent
+			if target > 0 {
+				target-- // replay everything before the diverging event
+			}
+			if trunk.Steps() < target && trunk.Pending() > 0 {
+				break
+			}
+			dispatchFork(delays[di])
+			di++
+		}
+		if di >= len(delays) && wi >= len(wins) {
+			break
+		}
+		ok, err := trunk.Step()
+		if err != nil {
+			failRest(err)
+			return trunk.Steps()
+		}
+		if err := skew.Err(); err != nil {
+			failRest(err)
+			return trunk.Steps()
+		}
+		if !ok {
+			// Parent queue drained early: every remaining mutant forks from
+			// the idle state.
+			for ; wi < len(wins); wi++ {
+				dispatchFork(wins[wi])
+			}
+			for ; di < len(delays); di++ {
+				dispatchFork(delays[di])
+			}
+		}
 	}
 	return trunk.Steps()
 }

@@ -133,7 +133,13 @@ type Options struct {
 	// move set: the run is split into RateWindows equal real-time windows,
 	// and each candidate applies clock.ModifyWindow to one node over one
 	// window, pinning its rate to 1−ρ or 1+ρ there (the Bounded Increase
-	// lemma's surgery shape). Zero disables them.
+	// lemma's surgery shape). Zero disables them. Requires Rho > 0: with
+	// ρ = 0 both pins collapse to rate 1 and the move set would silently be
+	// empty, so normalize rejects the combination. Window mutants share the
+	// parent's execution prefix: the mutated schedule agrees with the
+	// parent's before the window starts, so evaluation forks the shared
+	// trunk there and swaps the schedule in (Engine.SwapSchedule) instead of
+	// re-simulating from time zero.
 	RateWindows int
 	// Workers bounds the evaluation pool. Default GOMAXPROCS.
 	Workers int
@@ -262,13 +268,26 @@ type candidate struct {
 	rates  []rat.Rat
 	scheds []*clock.Schedule // non-nil: full base-schedule override
 
-	// Prefix lineage, set on delay mutants only: the parent's realized
-	// decision log, the index of the first decision this candidate changes,
-	// and that decision's dispatch-event index. A nil parent (rate mutants,
-	// seeds, the base) evaluates from scratch.
+	// Prefix lineage, set on delay and window mutants: the parent's realized
+	// decision log plus the divergence point. A delay mutant diverges at its
+	// first changed decision (divIdx into the parent log, divEvent its
+	// dispatch-event index). A nil parent (whole-run rate mutants, seeds,
+	// the base) evaluates from scratch.
 	parent   *DecisionLog
 	divIdx   int
 	divEvent uint64
+
+	// Rate-window lineage: the mutant equals its parent except node
+	// swapNode's schedule is swapSched, which agrees with the parent's on
+	// [0, divTime). scheds stays the PARENT's schedule set — the shared
+	// trunk runs under it — and the fork swaps swapSched in at the first
+	// event at/after divTime (Engine.SwapSchedule re-derives queued timer
+	// times from their hardware targets). schedOverride materializes the
+	// candidate's own set for from-scratch evaluation, dedup keys, and the
+	// wire form of evaluated candidates.
+	swapNode  int
+	swapSched *clock.Schedule
+	divTime   rat.Rat
 }
 
 // evaluation is a candidate's simulated outcome.
@@ -354,6 +373,9 @@ func normalize(opt *Options) ([]string, error) {
 	if opt.RateWindows < 0 {
 		return nil, fmt.Errorf("search: negative RateWindows %d", opt.RateWindows)
 	}
+	if opt.RateWindows > 0 && !opt.DisableRateMutations && opt.Rho.Sign() <= 0 {
+		return nil, fmt.Errorf("search: RateWindows %d with drift bound ρ=%s: windowed rate surgery pins rates to 1−ρ and 1+ρ, which under ρ <= 0 never changes a schedule, so the windows would silently produce no mutants; set Rho > 0, or RateWindows = 0 to disable windowed surgery", opt.RateWindows, opt.Rho)
+	}
 	if opt.Base == nil {
 		opt.Base = engine.Midpoint()
 	}
@@ -401,21 +423,49 @@ func baseTail(opt Options) engine.Adversary {
 }
 
 // effectiveScheds materializes the hardware schedules a candidate runs
-// under: its full override (seeds, windowed mutants) or the base schedules,
-// with constant-rate overrides applied on top.
+// under: its full override (seeds, windowed mutants — with the window
+// mutant's swapped-in schedule applied) or the base schedules, with
+// constant-rate overrides applied on top.
 func effectiveScheds(opt Options, cand candidate) []*clock.Schedule {
+	return applyRates(opt, schedOverride(cand), cand.rates)
+}
+
+// trunkScheds materializes the schedules the shared trunk runs under:
+// effectiveScheds without the rate-window swap. The trunk replays the
+// parent's execution, and a window mutant's parent ran the un-swapped set;
+// for every other candidate the two are identical.
+func trunkScheds(opt Options, cand candidate) []*clock.Schedule {
+	return applyRates(opt, cand.scheds, cand.rates)
+}
+
+// applyRates lays per-node constant-rate overrides over a schedule override
+// (or the base schedules when override is nil).
+func applyRates(opt Options, override []*clock.Schedule, rates []rat.Rat) []*clock.Schedule {
 	base := opt.Schedules
-	if cand.scheds != nil {
-		base = cand.scheds
+	if override != nil {
+		base = override
 	}
 	out := make([]*clock.Schedule, len(base))
 	for i, s := range base {
-		if i < len(cand.rates) && !cand.rates[i].IsZero() {
-			out[i] = clock.Constant(cand.rates[i])
+		if i < len(rates) && !rates[i].IsZero() {
+			out[i] = clock.Constant(rates[i])
 		} else {
 			out[i] = s
 		}
 	}
+	return out
+}
+
+// schedOverride returns the candidate's own full schedule override — its
+// scheds with the rate-window swap applied — or nil when it has neither.
+// This is the candidate's identity (dedup keys, wire encoding of evaluated
+// candidates) and what a from-scratch evaluation runs under.
+func schedOverride(c candidate) []*clock.Schedule {
+	if c.swapSched == nil {
+		return c.scheds
+	}
+	out := append([]*clock.Schedule(nil), c.scheds...)
+	out[c.swapNode] = c.swapSched
 	return out
 }
 
@@ -427,7 +477,9 @@ var delaySnaps = []rat.Rat{{}, rat.MustFrac(1, 2), rat.FromInt(1)}
 // candidate: per-node whole-run rate flips within ±ρ, windowed rate surgery
 // (when enabled), then per-decision delay snaps over an even sample of the
 // parent's realized decision log (optionally restricted to its tail). Delay
-// mutants carry prefix lineage; rate mutants change clocks from time zero
+// mutants and window mutants carry prefix lineage (a window mutant's
+// schedule agrees with its parent's before the window, so everything before
+// it is shared execution); whole-run rate flips change clocks from time zero
 // and evaluate from scratch.
 func mutations(opt Options, parent evaluation) []candidate {
 	var out []candidate
@@ -480,7 +532,10 @@ func mutations(opt Options, parent evaluation) []candidate {
 // original schedule elsewhere — the Bounded Increase lemma's ModifyWindow
 // surgery as a search move. The resulting schedules rarely stay constant, so
 // these candidates drop their constant-rate bookkeeping and carry the full
-// schedule set.
+// (parent) schedule set plus the swap. Because ModifyWindow leaves [0, from)
+// untouched, the mutant shares the parent's execution prefix up to the
+// window start: the candidate carries prefix lineage and the trunk
+// scheduler forks it there, swapping the schedule into the fork.
 func windowMutations(opt Options, parent evaluation, shared map[trace.MsgKey]rat.Rat) []candidate {
 	if opt.RateWindows <= 0 || opt.Rho.Sign() <= 0 {
 		return nil
@@ -503,12 +558,14 @@ func windowMutations(opt Options, parent evaluation, shared map[trace.MsgKey]rat
 				if err != nil || schedEqual(ns, parentScheds[node]) {
 					continue
 				}
-				scheds := append([]*clock.Schedule(nil), parentScheds...)
-				scheds[node] = ns
 				out = append(out, candidate{
-					script: shared,
-					rates:  make([]rat.Rat, opt.Net.N()),
-					scheds: scheds,
+					script:    shared,
+					rates:     make([]rat.Rat, opt.Net.N()),
+					scheds:    parentScheds,
+					parent:    parent.log,
+					swapNode:  node,
+					swapSched: ns,
+					divTime:   from,
 				})
 			}
 		}
@@ -539,8 +596,8 @@ func effectiveRate(opt Options, cand candidate, node int) *rat.Rat {
 		return &r
 	}
 	base := opt.Schedules
-	if cand.scheds != nil {
-		base = cand.scheds
+	if s := schedOverride(cand); s != nil {
+		base = s
 	}
 	segs := base[node].Rates()
 	if len(segs) == 1 {
@@ -613,8 +670,8 @@ func key(c candidate) string {
 	}
 	sort.Strings(entries)
 	b.WriteString(strings.Join(entries, ";"))
-	if c.scheds != nil {
-		for i, s := range c.scheds {
+	if scheds := schedOverride(c); scheds != nil {
+		for i, s := range scheds {
 			fmt.Fprintf(&b, ";S%d=", i)
 			for _, seg := range s.Rates() {
 				fmt.Fprintf(&b, "%s@%s,", seg.Rate.Key(), seg.At.Key())

@@ -185,6 +185,58 @@ func TestPrefixCacheMatchesFullResim(t *testing.T) {
 	}
 }
 
+// TestRateMutantPrefixCacheMatchesFullResim: the schedule-swap tentpole —
+// rate-window mutants evaluated by forking the shared trunk at the first
+// event at/after their mutated window's start and swapping the schedule into
+// the fork must return byte-identical Results to evaluating every candidate
+// from scratch, for a plain and a stateful base tail and on both arithmetic
+// lanes, while dispatching strictly fewer engine events.
+func TestRateMutantPrefixCacheMatchesFullResim(t *testing.T) {
+	mk := func(stateful bool) Options {
+		opt := lineOpts(t, 4, 4)
+		opt.RateWindows = 2
+		if stateful {
+			opt.Base = adaptiveBase(t, opt.Net, opt.Duration)
+		}
+		return opt
+	}
+	lanes := []struct {
+		name string
+		lane engine.Lane
+	}{{"auto", engine.LaneAuto}, {"rat", engine.LaneRat}}
+	bases := []struct {
+		name     string
+		stateful bool
+	}{{"midpoint", false}, {"adaptive", true}}
+	for _, ln := range lanes {
+		for _, bs := range bases {
+			t.Run(ln.name+"/"+bs.name, func(t *testing.T) {
+				engine.SetDefaultLane(ln.lane)
+				defer engine.SetDefaultLane(engine.LaneAuto)
+				cached, err := Search(mk(bs.stateful))
+				if err != nil {
+					t.Fatal(err)
+				}
+				full := mk(bs.stateful)
+				full.DisablePrefixCache = true
+				scratch, err := Search(full)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resultsEqual(t, cached, scratch)
+				if scratch.EngineSteps != scratch.CandidateSteps {
+					t.Fatalf("full resim dispatched %d events but candidates total %d",
+						scratch.EngineSteps, scratch.CandidateSteps)
+				}
+				if cached.EngineSteps >= scratch.EngineSteps {
+					t.Fatalf("window-mutant sharing saved nothing: cached %d vs scratch %d",
+						cached.EngineSteps, scratch.EngineSteps)
+				}
+			})
+		}
+	}
+}
+
 // TestSearchSeeded: a seeded search must start at, not below, the seed's
 // own objective value, and seeds must survive validation.
 func TestSearchSeeded(t *testing.T) {
@@ -407,6 +459,8 @@ func TestSearchOptionValidation(t *testing.T) {
 			Objective: ObjectiveGradientMargin}, "Gradient"},
 		{"schedule count", Options{Net: net, Protocol: proto, Duration: ri(1),
 			Schedules: []*clock.Schedule{clock.Constant(ri(1))}}, "schedules"},
+		{"rate windows without drift", Options{Net: net, Protocol: proto, Duration: ri(1),
+			RateWindows: 2}, "windowed rate surgery"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
