@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-snapshot bench-perf bench-gated plan-smoke bench-history
+.PHONY: all build test vet lint bench bench-snapshot bench-perf bench-gated plan-smoke bench-history matrix matrix-smoke
 
 all: vet build test
 
@@ -53,6 +53,18 @@ bench-perf:
 bench-gated:
 	$(GO) test -bench 'EngineStream|EngineFork|EngineForkGradient|AdaptiveRun|SearchPrefixCached|SearchEndToEnd|SearchRateWindows' \
 		-benchmem -count 6 -run '^$$' ./...
+
+# Scenario matrix (internal/scenario): generated topology families × fault
+# models × drift profiles, each cell searched and adaptively scheduled, then
+# gated against its certified D-dependent bound. `matrix` renders the full
+# registry as a table; `matrix-smoke` regenerates the committed golden
+# BENCH_matrix.json exactly as the CI matrix-smoke job does — after running
+# it, `git diff BENCH_matrix.json` must be empty.
+matrix:
+	$(GO) run ./cmd/gcsbench -matrix
+
+matrix-smoke:
+	$(GO) run ./cmd/gcsbench -matrix -smoke -json > BENCH_matrix.json
 
 # Distributed-search pricing smoke: plan the committed example campaign
 # without executing a single engine step (the CI test job runs this — it

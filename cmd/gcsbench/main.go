@@ -13,6 +13,10 @@
 //	gcsbench -json      # machine-readable tables (BENCH_*.json trend tracking)
 //	gcsbench -perf      # timing snapshot of the gated perf workloads
 //	                    # (BENCH_perf.json; machine-dependent, JSON only)
+//	gcsbench -matrix    # the scenario matrix: generated topologies ×
+//	                    # fault models × drift profiles vs certified bounds
+//	gcsbench -matrix -smoke -json
+//	                    # the committed CI subset (BENCH_matrix.json)
 //
 // Output is buffered and printed only when the requested experiments all
 // succeed; on failure nothing but the error (on stderr, exit 1) is emitted,
@@ -32,6 +36,7 @@ import (
 	"gcs/internal/experiments"
 	"gcs/internal/perf"
 	"gcs/internal/rat"
+	"gcs/internal/scenario"
 	"gcs/internal/sim"
 )
 
@@ -41,16 +46,27 @@ func main() {
 	stream := flag.Bool("stream", false, "run only the E12 streaming scale sweep")
 	jsonOut := flag.Bool("json", false, "emit experiment tables as machine-readable JSON")
 	perfOut := flag.Bool("perf", false, "measure the gated perf workloads and emit BENCH_perf.json content (timing; machine-dependent)")
+	matrix := flag.Bool("matrix", false, "run the scenario matrix (generated topologies × fault models × drift profiles vs certified bounds)")
+	smoke := flag.Bool("smoke", false, "with -matrix: run only the committed CI smoke subset (BENCH_matrix.json)")
 	flag.Parse()
 	var out string
 	var err error
-	if *perfOut {
-		if *long || *only != "" || *stream || *jsonOut {
+	switch {
+	case *perfOut:
+		if *long || *only != "" || *stream || *jsonOut || *matrix || *smoke {
 			err = fmt.Errorf("-perf measures a fixed workload set and combines with no other flag")
 		} else {
 			out, err = perf.SnapshotJSON()
 		}
-	} else {
+	case *matrix:
+		if *long || *only != "" || *stream {
+			err = fmt.Errorf("-matrix combines only with -smoke and -json")
+		} else {
+			out, err = runMatrix(*smoke, *jsonOut)
+		}
+	case *smoke:
+		err = fmt.Errorf("-smoke selects the matrix smoke subset and requires -matrix")
+	default:
 		out, err = run(*long, strings.ToUpper(*only), *stream, *jsonOut)
 	}
 	if err != nil {
@@ -58,6 +74,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+}
+
+// runMatrix executes the scenario matrix (the full registry, or the smoke
+// subset CI regenerates) and renders it: the raw reports as the committed
+// JSON golden, or the experiment-table text form.
+func runMatrix(smoke, jsonOut bool) (string, error) {
+	var (
+		scs []scenario.Scenario
+		err error
+	)
+	if smoke {
+		scs, err = scenario.Smoke()
+	} else {
+		scs, err = scenario.Matrix()
+	}
+	if err != nil {
+		return "", err
+	}
+	reports, err := scenario.RunMatrix(scs, scenario.RunOptions{})
+	if err != nil {
+		return "", err
+	}
+	if jsonOut {
+		b, err := scenario.MarshalReports(reports)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	return experiments.MatrixTable(reports).Render() + "\n", nil
 }
 
 // result is one experiment's output: its tables plus optional non-tabular

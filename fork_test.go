@@ -62,7 +62,7 @@ func execEqual(t *testing.T, label string, a, b *gcs.Execution) {
 	}
 	for k, x := range a.Ledger {
 		y, ok := b.Ledger[k]
-		if !ok || x.Delivered != y.Delivered || x.Payload != y.Payload ||
+		if !ok || x.Delivered != y.Delivered || x.Dropped != y.Dropped || x.Payload != y.Payload ||
 			!x.SendReal.Equal(y.SendReal) || !x.Delay.Equal(y.Delay) ||
 			(x.Delivered && !x.RecvReal.Equal(y.RecvReal)) {
 			t.Fatalf("%s: ledger %v differs: %+v vs %+v (present=%v)", label, k, x, y, ok)
@@ -430,6 +430,217 @@ func TestStatefulAdversaryForkMatrix(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestFaultAdversaryForkMatrix: the fork-determinism matrix for fault
+// injection — a FaultAdversary (crash windows, probabilistic loss, a
+// transient partition, edge churn) layered over the hash adversary must make
+// a fork driven to the horizon, and the trunk finished after forking,
+// byte-identical to two independent end-to-end runs, dropped messages
+// included (execEqual compares the Dropped flag per ledger entry). One loss
+// case additionally rides inside a ScriptedAdversary fallback — the shape
+// the prefix-cached search builds — so the drop hook provably survives
+// wrapper chains via Unwrap. Every case asserts at least one message was
+// actually dropped, so none of this passes vacuously.
+func TestFaultAdversaryForkMatrix(t *testing.T) {
+	dur := gcs.R(12)
+	rho := gcs.Frac(1, 2)
+	line, err := gcs.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := gcs.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []struct {
+		name     string
+		model    gcs.FaultModel
+		scripted bool // wrap the fault layer in a ScriptedAdversary fallback
+	}{
+		{"crash", gcs.FaultModel{Crash: map[int][]gcs.FaultWindow{
+			1: {{From: gcs.R(3), To: gcs.R(6)}},
+			3: {{From: gcs.R(7), To: gcs.R(9)}},
+		}}, false},
+		{"loss", gcs.FaultModel{LossNum: 1, LossDen: 4, LossSeed: 99}, false},
+		{"loss-scripted", gcs.FaultModel{LossNum: 1, LossDen: 4, LossSeed: 99}, true},
+		{"partition", gcs.FaultModel{Partitions: []gcs.NetPartition{{
+			Window: gcs.FaultWindow{From: gcs.R(4), To: gcs.R(8)},
+			Side:   []bool{true, true},
+		}}}, false},
+		{"churn", gcs.FaultModel{ChurnNum: 1, ChurnDen: 4, ChurnPeriod: gcs.R(2), ChurnSeed: 5}, false},
+	}
+	protos := []gcs.Protocol{gcs.MaxGossip(gcs.R(1)), gcs.Gradient(gcs.DefaultGradientParams())}
+	for _, net := range []*gcs.Network{line, ring} {
+		for _, fc := range faults {
+			for _, proto := range protos {
+				net, fc, proto := net, fc, proto
+				t.Run(fmt.Sprintf("%s/%s/%s", net.Name(), fc.name, proto.Name()), func(t *testing.T) {
+					scheds, err := gcs.DiverseSchedules(net.N(), gcs.Frac(3, 4), gcs.Frac(5, 4), 4, 17)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var adv gcs.Adversary = gcs.FaultAdversary{
+						Model: fc.model,
+						Inner: gcs.HashAdversary{Seed: 7, Denom: 8},
+					}
+					if fc.scripted {
+						adv = gcs.ScriptedAdversary{Fallback: adv}
+					}
+					build := func() (*gcs.Engine, *gcs.Recorder) {
+						t.Helper()
+						rec := gcs.NewRecorder(net.N())
+						eng, err := gcs.NewEngine(net,
+							gcs.WithProtocol(proto),
+							gcs.WithAdversary(adv),
+							gcs.WithSchedules(scheds),
+							gcs.WithRho(rho),
+							gcs.WithObservers(rec),
+						)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return eng, rec
+					}
+					finish := func(eng *gcs.Engine, rec *gcs.Recorder) *gcs.Execution {
+						t.Helper()
+						if err := eng.RunUntil(dur); err != nil {
+							t.Fatal(err)
+						}
+						exec, err := eng.Execution(rec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return exec
+					}
+
+					// Two independent end-to-end runs: the reference, twice.
+					engA, recA := build()
+					execA := finish(engA, recA)
+					engB, recB := build()
+					execB := finish(engB, recB)
+					execEqual(t, "independent runs", execA, execB)
+
+					// The fault model must have bitten, or the case tests
+					// nothing.
+					dropped := 0
+					for _, rec := range execA.Ledger {
+						if rec.Dropped {
+							if rec.Delivered {
+								t.Fatalf("ledger entry both dropped and delivered: %+v", rec)
+							}
+							dropped++
+						}
+					}
+					if dropped == 0 {
+						t.Fatalf("fault model %q dropped no messages; the case is vacuous", fc.name)
+					}
+
+					// Trunk to the half-way point, fork, finish both branches.
+					trunk, trec := build()
+					for trunk.Steps() < engA.Steps()/2 {
+						ok, err := trunk.Step()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ok {
+							break
+						}
+					}
+					fork, err := trunk.Fork()
+					if err != nil {
+						t.Fatal(err)
+					}
+					frec := trec.Clone()
+					fork.Observe(frec)
+					execFork := finish(fork, frec)
+					execEqual(t, "fork vs independent run", execA, execFork)
+					execTrunk := finish(trunk, trec)
+					execEqual(t, "trunk vs independent run", execA, execTrunk)
+				})
+			}
+		}
+	}
+}
+
+// TestFaultAdversaryStatefulInnerFork: forking a FaultAdversary whose inner
+// adversary is stateful (the adaptive scheduler) must clone the inner state —
+// the fault layer itself is immutable and shared, but a shared scheduler
+// would let one branch's trigger fire on the other branch's observations.
+func TestFaultAdversaryStatefulInnerFork(t *testing.T) {
+	dur := gcs.R(12)
+	rho := gcs.Frac(1, 2)
+	net, err := gcs.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := gcs.MaxGossip(gcs.R(1))
+	model := gcs.FaultModel{Crash: map[int][]gcs.FaultWindow{
+		1: {{From: gcs.R(3), To: gcs.R(5)}},
+	}}
+	scheds := gcs.ConstantSchedules(net.N(), gcs.R(1))
+	scheds[0] = gcs.ConstantClock(gcs.R(1).Add(rho.Div(gcs.R(2))))
+	threshold := gcs.AutoThreshold(rho, dur)
+	build := func() (*gcs.Engine, *gcs.Recorder, *gcs.AdaptiveScheduler) {
+		t.Helper()
+		inner, err := gcs.NewAdaptiveScheduler(net, 0, net.N()-1, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := gcs.NewRecorder(net.N())
+		eng, err := gcs.NewEngine(net,
+			gcs.WithProtocol(proto),
+			gcs.WithAdversary(gcs.FaultAdversary{Model: model, Inner: inner}),
+			gcs.WithSchedules(scheds),
+			gcs.WithRho(rho),
+			gcs.WithObservers(rec),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, rec, inner
+	}
+	finish := func(eng *gcs.Engine, rec *gcs.Recorder) *gcs.Execution {
+		t.Helper()
+		if err := eng.RunUntil(dur); err != nil {
+			t.Fatal(err)
+		}
+		exec, err := eng.Execution(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exec
+	}
+
+	engA, recA, _ := build()
+	execA := finish(engA, recA)
+
+	trunk, trec, tinner := build()
+	for trunk.Steps() < engA.Steps()/2 {
+		ok, err := trunk.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	fork, err := trunk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fadv, ok := fork.Adversary().(gcs.FaultAdversary)
+	if !ok {
+		t.Fatalf("fork adversary is %T, want FaultAdversary", fork.Adversary())
+	}
+	finner, ok := fadv.Inner.(*gcs.AdaptiveScheduler)
+	if !ok || finner == tinner {
+		t.Fatalf("fork's inner adversary %T shares the trunk's state", fadv.Inner)
+	}
+	frec := trec.Clone()
+	fork.Observe(frec)
+	execEqual(t, "fork vs independent run", execA, finish(fork, frec))
+	execEqual(t, "trunk vs independent run", execA, finish(trunk, trec))
 }
 
 // TestForkDivergence: a fork rebound to a different adversary diverges from

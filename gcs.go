@@ -94,6 +94,7 @@ import (
 	"gcs/internal/network"
 	"gcs/internal/plot"
 	"gcs/internal/rat"
+	"gcs/internal/scenario"
 	"gcs/internal/search"
 	"gcs/internal/sim"
 	"gcs/internal/trace"
@@ -132,6 +133,13 @@ var (
 	Star            = network.Star
 	RandomGeometric = network.RandomGeometric
 	NewNetwork      = network.New
+	// Seeded generator families for the scenario matrix: exact hop-count
+	// distances, deterministic for a fixed seed, diameter scaling
+	// independently of n.
+	Torus               = network.Torus
+	DRegular            = network.DRegular
+	BarabasiAlbert      = network.BarabasiAlbert
+	BoundedDegreeRandom = network.BoundedDegreeRandom
 )
 
 // Hardware clocks.
@@ -190,6 +198,30 @@ type (
 	FuncAdversary = sim.FuncAdversary
 	// HashAdversary draws reproducible pseudo-random delays.
 	HashAdversary = sim.HashAdversary
+	// AdversaryWrapper is a decorator adversary exposing the adversary it
+	// wraps (engine feedback and fault hooks walk the chain via Unwrap).
+	AdversaryWrapper = engine.AdversaryWrapper
+	// DropAdversary drops faulted messages before any delay is assigned.
+	DropAdversary = engine.DropAdversary
+	// FaultAdversary layers a deterministic FaultModel (crash windows,
+	// hash loss, transient partitions, edge churn) over an inner delay
+	// adversary; fork- and replay-safe by construction.
+	FaultAdversary = scenario.FaultAdversary
+	// FaultModel is the deterministic fault configuration itself.
+	FaultModel = scenario.FaultModel
+	// FaultWindow is a half-open real-time interval [From, To) used by
+	// crash and partition faults.
+	FaultWindow = scenario.Window
+	// NetPartition is a transient cut: messages crossing Side during the
+	// window are dropped.
+	NetPartition = scenario.Partition
+	// Scenario is one registered matrix cell; ScenarioReport its gated
+	// result; ScenarioRunOptions the per-cell search budget.
+	Scenario           = scenario.Scenario
+	ScenarioReport     = scenario.Report
+	ScenarioRunOptions = scenario.RunOptions
+	// DriftProfile selects a scenario's base rate landscape.
+	DriftProfile = scenario.DriftProfile
 	// Execution is a completed, recorded run.
 	Execution = trace.Execution
 	// Action is one observable step at one node.
@@ -272,6 +304,23 @@ func Midpoint() FractionAdversary { return sim.Midpoint() }
 // decision state (the adversary itself when stateless); ok is false for an
 // adversary that observes the run without being cloneable.
 var CloneAdversaryState = engine.CloneAdversaryState
+
+// Scenario matrix (internal/scenario): the registered topology × fault ×
+// drift grid, its runners, and the certified envelope it gates against.
+var (
+	ScenarioSmoke     = scenario.Smoke
+	ScenarioMatrix    = scenario.Matrix
+	RunScenario       = scenario.RunScenario
+	RunScenarioMatrix = scenario.RunMatrix
+	CertifiedBound    = scenario.CertifiedBound
+)
+
+// Drift profiles for scenario cells.
+const (
+	DriftHomogeneous   = scenario.DriftHomogeneous
+	DriftHeterogeneous = scenario.DriftHeterogeneous
+	DriftBursty        = scenario.DriftBursty
+)
 
 // Indistinguishability and side-condition checkers (§3 of the paper).
 var (

@@ -22,6 +22,26 @@ type CheckedAdversary interface {
 	DelayChecked(from, to int, seq uint64, sendReal rat.Rat, bound rat.Rat) (rat.Rat, error)
 }
 
+// DropAdversary is an optional Adversary extension for fault models. Before
+// asking the adversary to price a delay, the engine asks the chain's drop
+// layer (resolved through AdversaryWrapper.Unwrap by bindAdversary) whether
+// the message is lost: a dropped message consumes its per-pair sequence
+// number and is recorded in the ledger with Dropped set, but is never
+// assigned a delay and never delivered. The sender's Send action is still
+// emitted — a fail-silent loss is invisible to the sender, matching the
+// paper's indistinguishability arguments.
+//
+// Drop must be a pure function of its arguments (plus immutable
+// configuration): engine forks and the prefix-cached search replay message
+// sends live, so a drop decision that depended on hidden mutable state
+// would diverge between a trunk and its fork.
+type DropAdversary interface {
+	Adversary
+	// Drop reports whether the message from→to with per-pair sequence seq,
+	// sent at real time sendReal, is lost.
+	Drop(from, to int, seq uint64, sendReal rat.Rat) bool
+}
+
 // FractionAdversary assigns every message the delay frac·bound. frac must be
 // in [0, 1]. The paper's constructions use frac = 1/2 ("message delay
 // between k1 and k2 is |k1−k2|/2").
@@ -58,7 +78,12 @@ type ScriptedAdversary struct {
 var (
 	_ CheckedAdversary  = ScriptedAdversary{}
 	_ StatefulAdversary = ScriptedAdversary{}
+	_ AdversaryWrapper  = ScriptedAdversary{}
 )
+
+// Unwrap implements AdversaryWrapper: the script is bookkeeping over the
+// Fallback tail, which owns observation state and fault configuration.
+func (a ScriptedAdversary) Unwrap() Adversary { return a.Fallback }
 
 // CloneAdversary implements StatefulAdversary transparently: the script map
 // is never mutated during replay, so the clone shares it, while a stateful

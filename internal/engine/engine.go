@@ -131,6 +131,10 @@ type Engine struct {
 	advObs        Observer
 	advClockObs   ClockObserver
 	advHorizonObs HorizonObserver
+	// advDrop is the adversary chain's fault layer (resolved through
+	// AdversaryWrapper.Unwrap by bindAdversary, nil when no layer drops):
+	// consulted once per send, before the delay decision.
+	advDrop DropAdversary
 
 	queue    eventQueue
 	seq      uint64

@@ -35,6 +35,10 @@ type Metrics struct {
 	// (an off-grid delay, reading, or timer inversion). A high rate relative
 	// to Steps means the detected scale misses the run's real grid.
 	FixedFallbacks *obs.Counter
+	// Dropped counts messages removed at send by the adversary chain's
+	// fault layer (DropAdversary): they consume their sequence number but
+	// are never assigned a delay or delivered.
+	Dropped *obs.Counter
 }
 
 // NewMetrics registers the engine instrument set in r. Repeated calls with
@@ -50,6 +54,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		FixedLaneRuns:    r.Counter("gcs_engine_fixed_lane_runs_total", "engines constructed on the fixed-point tick lane"),
 		RatLaneRuns:      r.Counter("gcs_engine_rat_lane_runs_total", "engines constructed on the exact-rational lane"),
 		FixedFallbacks:   r.Counter("gcs_engine_fixed_fallbacks_total", "off-grid values computed in rational arithmetic by fixed-lane engines"),
+		Dropped:          r.Counter("gcs_engine_msgs_dropped_total", "messages dropped at send by the adversary's fault layer"),
 	}
 }
 

@@ -85,6 +85,34 @@ func (rt *Runtime) Send(to int, msg Message) {
 	seq := e.pairSeq[pair]
 	e.pairSeq[pair] = seq + 1
 	bound := e.net.Dist(rt.id, to)
+	if e.advDrop != nil && e.advDrop.Drop(rt.id, to, seq, e.now) {
+		// A faulted message consumes its sequence number but is never
+		// priced or delivered. The Send action is still emitted — the
+		// loss is invisible to the sender — and the ledger records the
+		// message as Dropped so checkers and decision logs can tell a
+		// fault from an undelivered in-flight message.
+		if e.met != nil {
+			e.met.Dropped.Inc()
+		}
+		if e.observed() {
+			payload := msg.MsgString()
+			rec := trace.MsgRecord{
+				Key:      trace.MsgKey{From: rt.id, To: to, Seq: seq},
+				SendReal: e.now,
+				Payload:  payload,
+				Dropped:  true,
+			}
+			if e.advObs != nil {
+				e.advObs.OnSend(rec)
+			}
+			for _, o := range e.obs {
+				o.OnSend(rec)
+			}
+			e.emitAction(trace.Action{Node: rt.id, Kind: trace.KindSend, Real: e.now,
+				HW: rt.hwNow, Peer: to, MsgSeq: seq, Payload: payload})
+		}
+		return
+	}
 	var delay rat.Rat
 	if ca, ok := e.adv.(CheckedAdversary); ok {
 		var derr error

@@ -54,26 +54,52 @@ func CloneAdversaryState(adv Adversary) (Adversary, bool) {
 	return adv, true
 }
 
+// AdversaryWrapper is an optional Adversary extension for decorators — a
+// script replaying recorded delays over a live tail, a fault layer dropping
+// messages before its inner strategy prices the rest. Unwrap exposes the
+// decorated adversary so engine plumbing (observer feedback, the drop hook)
+// can walk the chain to the layer that owns each concern.
+type AdversaryWrapper interface {
+	Adversary
+	// Unwrap returns the decorated adversary, or nil when there is none.
+	Unwrap() Adversary
+}
+
 // feedbackTarget resolves the value whose observer interfaces receive an
-// engine's feedback: the adversary itself, or the Fallback tail for a
-// ScriptedAdversary — in value or pointer form, since both satisfy the
-// Adversary interface (the script wrapper is delay bookkeeping, not state —
-// feedback must reach the tail that owns the state). nil when there is no
-// target (a scripted adversary with no tail).
+// engine's feedback: the innermost adversary of the wrapper chain (wrappers
+// are delay bookkeeping or fault configuration, not observation state —
+// feedback must reach the tail that owns the state). nil when the chain
+// ends without a tail (a scripted adversary with no Fallback).
 func feedbackTarget(adv Adversary) any {
-	var tail Adversary
-	switch sc := adv.(type) {
-	case ScriptedAdversary:
-		tail = sc.Fallback
-	case *ScriptedAdversary:
-		tail = sc.Fallback
-	default:
-		return adv
+	for {
+		w, ok := adv.(AdversaryWrapper)
+		if !ok {
+			return adv
+		}
+		inner := w.Unwrap()
+		if inner == nil {
+			return nil
+		}
+		adv = inner
 	}
-	if tail == nil {
-		return nil
+}
+
+// dropTarget resolves the outermost DropAdversary of a wrapper chain, or nil
+// when no layer implements fault drops. Walking through wrappers is what
+// keeps fault semantics alive when search wraps a faulted base adversary in
+// replay scripts: the script layer forwards Unwrap to the fault layer.
+func dropTarget(adv Adversary) DropAdversary {
+	for adv != nil {
+		if d, ok := adv.(DropAdversary); ok {
+			return d
+		}
+		w, ok := adv.(AdversaryWrapper)
+		if !ok {
+			return nil
+		}
+		adv = w.Unwrap()
 	}
-	return feedbackTarget(tail)
+	return nil
 }
 
 // adversaryObserves reports whether the adversary (or its tail) subscribes
@@ -98,4 +124,5 @@ func (e *Engine) bindAdversary(adv Adversary) {
 	e.advObs, _ = t.(Observer)
 	e.advClockObs, _ = t.(ClockObserver)
 	e.advHorizonObs, _ = t.(HorizonObserver)
+	e.advDrop = dropTarget(adv)
 }

@@ -148,8 +148,11 @@ func TwoNode(d rat.Rat) (*Network, error) {
 
 // Complete returns a complete network on n nodes with all distances d.
 func Complete(n int, d rat.Rat) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("network: complete needs >= 2 nodes, got %d", n)
+	}
 	if d.Less(rat.FromInt(1)) {
-		return nil, fmt.Errorf("network: distance %s < 1", d)
+		return nil, fmt.Errorf("network: complete distance %s < 1", d)
 	}
 	dist := make([][]rat.Rat, n)
 	neighbors := make([][]int, n)
@@ -193,8 +196,11 @@ func Ring(n int) (*Network, error) {
 // Grid2D returns a w×h grid with Manhattan (hop-count) distances and gossip
 // edges between grid-adjacent nodes. Node (x, y) has index y*w + x.
 func Grid2D(w, h int) (*Network, error) {
-	if w < 1 || h < 1 || w*h < 2 {
-		return nil, fmt.Errorf("network: grid %dx%d too small", w, h)
+	// A width- or height-1 grid is a line, not a grid: require both
+	// dimensions >= 2 so the degenerate shapes fail loudly (use Line)
+	// instead of silently collapsing.
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("network: grid needs width and height >= 2, got %dx%d", w, h)
 	}
 	n := w * h
 	dist := make([][]rat.Rat, n)
@@ -237,7 +243,7 @@ func Star(n int, d rat.Rat) (*Network, error) {
 		return nil, fmt.Errorf("network: star needs >= 3 nodes, got %d", n)
 	}
 	if d.Less(rat.FromInt(1)) {
-		return nil, fmt.Errorf("network: distance %s < 1", d)
+		return nil, fmt.Errorf("network: star distance %s < 1", d)
 	}
 	two := rat.FromInt(2)
 	dist := make([][]rat.Rat, n)
@@ -271,7 +277,7 @@ func Star(n int, d rat.Rat) (*Network, error) {
 // construction fail. Deterministic for a fixed seed.
 func RandomGeometric(n int, side int64, connectRadius float64, seed int64) (*Network, error) {
 	if n < 2 {
-		return nil, fmt.Errorf("network: need >= 2 nodes, got %d", n)
+		return nil, fmt.Errorf("network: random geometric needs >= 2 nodes, got %d", n)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	xs := make([]float64, n)
@@ -293,39 +299,9 @@ func RandomGeometric(n int, side int64, connectRadius float64, seed int64) (*Net
 			}
 		}
 	}
-	// Hop-count shortest paths (BFS from each node).
-	const unreach = -1
-	hops := make([][]int, n)
-	for s := 0; s < n; s++ {
-		hops[s] = make([]int, n)
-		for i := range hops[s] {
-			hops[s][i] = unreach
-		}
-		hops[s][s] = 0
-		queue := []int{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, v := range neighbors[u] {
-				if hops[s][v] == unreach {
-					hops[s][v] = hops[s][u] + 1
-					queue = append(queue, v)
-				}
-			}
-		}
-	}
-	dist := make([][]rat.Rat, n)
-	for i := range dist {
-		dist[i] = make([]rat.Rat, n)
-		for j := range dist[i] {
-			if i == j {
-				continue
-			}
-			if hops[i][j] == unreach {
-				return nil, fmt.Errorf("network: random geometric graph disconnected (seed %d)", seed)
-			}
-			dist[i][j] = rat.FromInt(int64(hops[i][j]))
-		}
+	dist, err := hopDistances(neighbors)
+	if err != nil {
+		return nil, fmt.Errorf("network: random geometric graph disconnected (seed %d)", seed)
 	}
 	return New(fmt.Sprintf("rgg-%d-seed%d", n, seed), dist, neighbors)
 }

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"fmt"
+
+	"gcs/internal/clock"
+	"gcs/internal/rat"
+)
+
+// DriftProfile selects the hardware-rate environment a scenario starts
+// from. Search rate mutations may still push individual nodes anywhere in
+// [1−ρ, 1+ρ]; the profile is the base landscape those mutations perturb.
+type DriftProfile int
+
+const (
+	// DriftHomogeneous runs every node at rate 1.
+	DriftHomogeneous DriftProfile = iota
+	// DriftHeterogeneous gives every node its own constant rate, spread
+	// deterministically across the inner band [1−ρ/2, 1+ρ/2].
+	DriftHeterogeneous
+	// DriftBursty starts homogeneous and applies windowed rate surgery to
+	// the middle third of the run: even nodes burst to 1+ρ/2, odd nodes
+	// sag to 1−ρ/2, then everyone returns to rate 1.
+	DriftBursty
+)
+
+// String names the profile for reports.
+func (p DriftProfile) String() string {
+	switch p {
+	case DriftHomogeneous:
+		return "homogeneous"
+	case DriftHeterogeneous:
+		return "heterogeneous"
+	case DriftBursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("drift(%d)", int(p))
+}
+
+// driftSeed decorrelates heterogeneous rate assignments across scenarios.
+const driftSeed = 0x5ce0a11ce
+
+// Schedules builds the profile's per-node hardware schedules for n nodes
+// over [0, dur] under drift bound rho.
+func (p DriftProfile) Schedules(n int, rho, dur rat.Rat) ([]*clock.Schedule, error) {
+	one := rat.FromInt(1)
+	half := rho.Div(rat.FromInt(2))
+	switch p {
+	case DriftHomogeneous:
+		scheds := make([]*clock.Schedule, n)
+		for i := range scheds {
+			scheds[i] = clock.Constant(one)
+		}
+		return scheds, nil
+	case DriftHeterogeneous:
+		return clock.Diverse(n, one.Sub(half), one.Add(half), 8, driftSeed)
+	case DriftBursty:
+		third := dur.Div(rat.FromInt(3))
+		from, to := third, third.Mul(rat.FromInt(2))
+		scheds := make([]*clock.Schedule, n)
+		for i := range scheds {
+			burst := one.Sub(half)
+			if i%2 == 0 {
+				burst = one.Add(half)
+			}
+			s, err := clock.Constant(one).ModifyWindow(from, to, func(rat.Rat) rat.Rat { return burst })
+			if err != nil {
+				return nil, err
+			}
+			scheds[i] = s
+		}
+		return scheds, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown drift profile %d", int(p))
+}

@@ -1,0 +1,255 @@
+// Package scenario is the deterministic, seeded scenario matrix: topology
+// generator families (internal/network) × fault models (this file) × drift
+// profiles (drift.go), each instance run through both the scripted beam
+// search and the adaptive online scheduler and gated against a certified
+// D-dependent bound (bound.go). The committed BENCH_matrix.json golden is
+// regenerated and diff-checked in CI, so "does searched skew track the
+// bound on every family?" is a standing conformance test, not a one-off
+// experiment.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gcs/internal/engine"
+	"gcs/internal/rat"
+)
+
+// Window is a half-open real-time interval [From, To).
+type Window struct {
+	From, To rat.Rat
+}
+
+// Contains reports whether t lies in [From, To).
+func (w Window) Contains(t rat.Rat) bool { return w.From.LessEq(t) && t.Less(w.To) }
+
+func (w Window) validate(what string) error {
+	if w.From.Sign() < 0 || !w.From.Less(w.To) {
+		return fmt.Errorf("scenario: %s window [%s, %s) is empty or negative", what, w.From, w.To)
+	}
+	return nil
+}
+
+// Partition is a transient network partition: while Window is active, every
+// message with exactly one endpoint in Side is dropped. Messages within
+// either side still flow.
+type Partition struct {
+	Window Window
+	// Side marks one side of the cut, indexed by node ID. Immutable after
+	// construction: FaultModel values are shared across engine forks.
+	Side []bool
+}
+
+// FaultModel is a deterministic, composable fault configuration. Every drop
+// decision is a pure function of the message identity (from, to, per-pair
+// seq) and its send time plus the model's immutable configuration, so fault
+// behavior replays identically across engine forks, prefix-cached search
+// trunks, and both arithmetic lanes. The zero value is the fault-free model.
+type FaultModel struct {
+	// Crash holds per-node fail-silent windows: while any window of
+	// Crash[i] is active, every message to or from node i is dropped. The
+	// window's end is the restart — the node's hardware clock keeps running
+	// throughout (a crashed node goes mute, it does not reset), matching
+	// the paper's model where clocks are never restarted.
+	Crash map[int][]Window
+
+	// LossNum/LossDen drop each message independently with probability
+	// LossNum/LossDen, decided by an FNV-1a hash of (LossSeed, from, to,
+	// seq) — deterministic and order-independent.
+	LossNum, LossDen int64
+	LossSeed         uint64
+
+	// Partitions are transient cuts; see Partition.
+	Partitions []Partition
+
+	// Churn takes undirected edges down for whole periods: during period k
+	// (real time [k·ChurnPeriod, (k+1)·ChurnPeriod)), edge {i, j} is down
+	// iff hash(ChurnSeed, min(i,j), max(i,j), k) mod ChurnDen < ChurnNum.
+	// Messages on a down edge are dropped in both directions.
+	ChurnNum, ChurnDen int64
+	ChurnPeriod        rat.Rat
+	ChurnSeed          uint64
+}
+
+// Validate checks the configuration is well-formed.
+func (m FaultModel) Validate() error {
+	for node, ws := range m.Crash {
+		for _, w := range ws {
+			if err := w.validate(fmt.Sprintf("crash[%d]", node)); err != nil {
+				return err
+			}
+		}
+	}
+	if m.LossNum < 0 || (m.LossNum > 0 && m.LossDen <= 0) {
+		return fmt.Errorf("scenario: loss probability %d/%d invalid", m.LossNum, m.LossDen)
+	}
+	if m.LossNum > 0 && m.LossNum >= m.LossDen {
+		return fmt.Errorf("scenario: loss probability %d/%d would drop every message", m.LossNum, m.LossDen)
+	}
+	for i, p := range m.Partitions {
+		if err := p.Window.validate(fmt.Sprintf("partition[%d]", i)); err != nil {
+			return err
+		}
+	}
+	if m.ChurnNum < 0 || (m.ChurnNum > 0 && m.ChurnDen <= 0) {
+		return fmt.Errorf("scenario: churn probability %d/%d invalid", m.ChurnNum, m.ChurnDen)
+	}
+	if m.ChurnNum > 0 {
+		if m.ChurnNum >= m.ChurnDen {
+			return fmt.Errorf("scenario: churn probability %d/%d would keep every edge down", m.ChurnNum, m.ChurnDen)
+		}
+		if m.ChurnPeriod.Sign() <= 0 {
+			return fmt.Errorf("scenario: churn period %s must be positive", m.ChurnPeriod)
+		}
+	}
+	return nil
+}
+
+// IsZero reports whether the model injects no faults at all.
+func (m FaultModel) IsZero() bool {
+	return len(m.Crash) == 0 && m.LossNum == 0 && len(m.Partitions) == 0 && m.ChurnNum == 0
+}
+
+// Drop reports whether the message from→to with per-pair sequence seq, sent
+// at real time sendReal, is lost. Pure in its arguments and the model.
+func (m FaultModel) Drop(from, to int, seq uint64, sendReal rat.Rat) bool {
+	for _, w := range m.Crash[from] {
+		if w.Contains(sendReal) {
+			return true
+		}
+	}
+	for _, w := range m.Crash[to] {
+		if w.Contains(sendReal) {
+			return true
+		}
+	}
+	if m.LossNum > 0 &&
+		int64(fnvMix(m.LossSeed, uint64(from), uint64(to), seq)%uint64(m.LossDen)) < m.LossNum {
+		return true
+	}
+	for _, p := range m.Partitions {
+		if p.Window.Contains(sendReal) && side(p.Side, from) != side(p.Side, to) {
+			return true
+		}
+	}
+	if m.ChurnNum > 0 {
+		lo, hi := from, to
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		k := sendReal.Div(m.ChurnPeriod).Floor()
+		if int64(fnvMix(m.ChurnSeed, uint64(lo), uint64(hi), uint64(k))%uint64(m.ChurnDen)) < m.ChurnNum {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashTotal returns the summed length of all crash and partition windows —
+// the outage time the certified bound must grant the protocol.
+func (m FaultModel) CrashTotal() rat.Rat {
+	var total rat.Rat
+	// Map iteration order does not matter: addition is commutative and
+	// exact, so the sum is identical for any order.
+	nodes := make([]int, 0, len(m.Crash))
+	for node := range m.Crash {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		for _, w := range m.Crash[node] {
+			total = total.Add(w.To.Sub(w.From))
+		}
+	}
+	for _, p := range m.Partitions {
+		total = total.Add(p.Window.To.Sub(p.Window.From))
+	}
+	return total
+}
+
+func side(s []bool, node int) bool { return node < len(s) && s[node] }
+
+// fnvMix hashes 64-bit words with FNV-1a, little-endian per word (the same
+// construction engine.HashAdversary uses for order-independent decisions).
+func fnvMix(vals ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// FaultAdversary layers a FaultModel over an inner delay adversary: Drop
+// removes faulted messages before the engine asks anyone for a delay, and
+// everything else — delay decisions, observer feedback, fork cloning, lane
+// hints — passes through to Inner. It is a value type with no mutable state
+// of its own, so trunk/fork byte-identity reduces to the Inner adversary's
+// own contract.
+type FaultAdversary struct {
+	Model FaultModel
+	Inner engine.Adversary
+}
+
+var (
+	_ engine.Adversary         = FaultAdversary{}
+	_ engine.CheckedAdversary  = FaultAdversary{}
+	_ engine.DropAdversary     = FaultAdversary{}
+	_ engine.AdversaryWrapper  = FaultAdversary{}
+	_ engine.StatefulAdversary = FaultAdversary{}
+	_ engine.DenomHinter       = FaultAdversary{}
+)
+
+// Delay implements Adversary by delegation.
+func (f FaultAdversary) Delay(from, to int, seq uint64, sendReal, bound rat.Rat) rat.Rat {
+	return f.Inner.Delay(from, to, seq, sendReal, bound)
+}
+
+// DelayChecked implements CheckedAdversary: Inner's checked path when it has
+// one, its plain Delay otherwise.
+func (f FaultAdversary) DelayChecked(from, to int, seq uint64, sendReal, bound rat.Rat) (rat.Rat, error) {
+	if ca, ok := f.Inner.(engine.CheckedAdversary); ok {
+		return ca.DelayChecked(from, to, seq, sendReal, bound)
+	}
+	return f.Inner.Delay(from, to, seq, sendReal, bound), nil
+}
+
+// Drop implements engine.DropAdversary as a pure function of the message
+// identity and the immutable model.
+func (f FaultAdversary) Drop(from, to int, seq uint64, sendReal rat.Rat) bool {
+	return f.Model.Drop(from, to, seq, sendReal)
+}
+
+// Unwrap implements engine.AdversaryWrapper: observer feedback and further
+// chain walking reach the inner adversary.
+func (f FaultAdversary) Unwrap() engine.Adversary { return f.Inner }
+
+// CloneAdversary implements StatefulAdversary transparently: the model is
+// immutable and shared, a stateful Inner is cloned. Returns nil (not
+// cloneable) when Inner is stateful but refuses to clone.
+func (f FaultAdversary) CloneAdversary() engine.Adversary {
+	if f.Inner == nil {
+		return f
+	}
+	inner, ok := engine.CloneAdversaryState(f.Inner)
+	if !ok {
+		return nil
+	}
+	return FaultAdversary{Model: f.Model, Inner: inner}
+}
+
+// DelayDenom implements engine.DenomHinter by delegation, so a faulted run
+// keeps the fixed-point lane whenever the inner adversary's delays are
+// quantized. Dropping the hint here would silently push every faulted
+// search onto the rat lane.
+func (f FaultAdversary) DelayDenom() int64 {
+	if h, ok := f.Inner.(engine.DenomHinter); ok {
+		return h.DelayDenom()
+	}
+	return 0
+}

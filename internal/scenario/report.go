@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gcs/internal/clock"
+	"gcs/internal/core"
+	"gcs/internal/engine"
+	"gcs/internal/lowerbound"
+	"gcs/internal/rat"
+	"gcs/internal/search"
+)
+
+// RunOptions is the per-scenario search budget. The zero value selects the
+// smoke defaults (the E14 smoke budget: 2 rounds, beam 2, 6 delay
+// mutations, serial-deterministic parallel evaluation).
+type RunOptions struct {
+	Rounds         int
+	Beam           int
+	DelayMutations int
+	Workers        int
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Rounds == 0 {
+		o.Rounds = 2
+	}
+	if o.Beam == 0 {
+		o.Beam = 2
+	}
+	if o.DelayMutations == 0 {
+		o.DelayMutations = 6
+	}
+	return o
+}
+
+// Report is one scenario's structured result. All rational quantities are
+// exact decimal-free strings, so the committed golden file diffs cleanly or
+// not at all — there is no float formatting to drift.
+type Report struct {
+	Name     string `json:"name"`
+	Family   string `json:"family"`
+	Fault    string `json:"fault"`
+	Drift    string `json:"drift"`
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	Diameter string `json:"diameter"`
+	Duration string `json:"duration"`
+	// Baseline is the unmutated faulted Midpoint run; Searched the beam
+	// search's worst case over delay and rate mutations; Adaptive the
+	// online scheduler's forced skew. Worst = max(Searched, Adaptive).
+	Baseline string `json:"baseline"`
+	Searched string `json:"searched"`
+	Adaptive string `json:"adaptive"`
+	Worst    string `json:"worst"`
+	// Bound is the certified D-dependent envelope (bound.go) and BoundTerm
+	// which of its two terms gated ("diameter" or "drift-cap"). Margin =
+	// Bound − Worst; Pass iff Margin >= 0.
+	Bound     string `json:"bound"`
+	BoundTerm string `json:"bound_term"`
+	Margin    string `json:"margin"`
+	Pass      bool   `json:"pass"`
+}
+
+// RunScenario executes one scenario: the scripted beam search and the
+// adaptive online scheduler, both against the scenario's fault model and
+// drift profile, gated against the certified bound.
+func RunScenario(sc Scenario, opt RunOptions) (Report, error) {
+	opt = opt.withDefaults()
+	if err := sc.Model.Validate(); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+	scheds, err := sc.Drift.Schedules(sc.Net.N(), sc.Rho, sc.Duration)
+	if err != nil {
+		return Report{}, fmt.Errorf("%s: drift schedules: %w", sc.Name, err)
+	}
+	res, err := search.Search(search.Options{
+		Net:            sc.Net,
+		Protocol:       sc.Protocol,
+		Duration:       sc.Duration,
+		Rho:            sc.Rho,
+		Schedules:      scheds,
+		Base:           FaultAdversary{Model: sc.Model, Inner: engine.Midpoint()},
+		Objective:      search.ObjectiveGlobalSkew,
+		Rounds:         opt.Rounds,
+		Beam:           opt.Beam,
+		DelayMutations: opt.DelayMutations,
+		Workers:        opt.Workers,
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("%s: search: %w", sc.Name, err)
+	}
+	adaptive, err := adaptiveSkew(sc, scheds)
+	if err != nil {
+		return Report{}, fmt.Errorf("%s: adaptive run: %w", sc.Name, err)
+	}
+	worst := rat.Max(res.Best, adaptive)
+	bound, term := CertifiedBound(BoundInput{
+		Diameter: sc.Net.Diameter(),
+		Period:   sc.Period,
+		Rho:      sc.Rho,
+		Duration: sc.Duration,
+		Fault:    sc.Model,
+	})
+	return Report{
+		Name:      sc.Name,
+		Family:    sc.Family,
+		Fault:     sc.Fault,
+		Drift:     sc.Drift.String(),
+		Protocol:  sc.Protocol.Name(),
+		N:         sc.Net.N(),
+		Diameter:  sc.Net.Diameter().String(),
+		Duration:  sc.Duration.String(),
+		Baseline:  res.Baseline.String(),
+		Searched:  res.Best.String(),
+		Adaptive:  adaptive.String(),
+		Worst:     worst.String(),
+		Bound:     bound.String(),
+		BoundTerm: term,
+		Margin:    bound.Sub(worst).String(),
+		Pass:      worst.LessEq(bound),
+	}, nil
+}
+
+// adaptiveSkew runs the generalized §2 online scheduler against the
+// scenario's fault model: source node 0 on the fast 1+ρ/2 band, the
+// release front at the node farthest from it, the release threshold at the
+// conventional ρ·dur/3 — all through the FaultAdversary wrapper, so the
+// scheduler's observations include the faults it must schedule around.
+func adaptiveSkew(sc Scenario, base []*clock.Schedule) (rat.Rat, error) {
+	const source = 0
+	front, far := source, rat.Rat{}
+	for j := 0; j < sc.Net.N(); j++ {
+		if j != source && far.Less(sc.Net.Dist(source, j)) {
+			front, far = j, sc.Net.Dist(source, j)
+		}
+	}
+	sched, err := lowerbound.NewAdaptiveScheduler(sc.Net, source, front,
+		lowerbound.AutoThreshold(sc.Rho, sc.Duration))
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	p := lowerbound.Params{Rho: sc.Rho}
+	scheds := make([]*clock.Schedule, len(base))
+	copy(scheds, base)
+	scheds[source] = clock.Constant(p.RateBandHigh())
+	skew, err := core.NewSkewTracker(sc.Net, scheds)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	eng, err := engine.New(sc.Net,
+		engine.WithProtocol(sc.Protocol),
+		engine.WithAdversary(FaultAdversary{Model: sc.Model, Inner: sched}),
+		engine.WithSchedules(scheds),
+		engine.WithRho(sc.Rho),
+		engine.WithObservers(skew),
+	)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	if err := eng.RunUntil(sc.Duration); err != nil {
+		return rat.Rat{}, err
+	}
+	if err := skew.Err(); err != nil {
+		return rat.Rat{}, err
+	}
+	return skew.Global().Skew, nil
+}
+
+// RunMatrix runs every scenario in order and returns the reports in the
+// same order. Deterministic: rerunning yields byte-identical reports.
+func RunMatrix(scs []Scenario, opt RunOptions) ([]Report, error) {
+	reports := make([]Report, 0, len(scs))
+	for _, sc := range scs {
+		rep, err := RunScenario(sc, opt)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// MarshalReports renders reports as the committed golden JSON: indented,
+// trailing newline, key order fixed by the struct.
+func MarshalReports(reports []Report) ([]byte, error) {
+	b, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRegistriesBuild: both registries construct without error, names are
+// unique, every scenario validates, and the smoke subset covers every
+// family, fault kind, and drift profile it promises CI.
+func TestRegistriesBuild(t *testing.T) {
+	for _, reg := range []struct {
+		name  string
+		build func() ([]Scenario, error)
+		want  int
+	}{
+		{"smoke", Smoke, 5},
+		{"matrix", Matrix, 24},
+	} {
+		scs, err := reg.build()
+		if err != nil {
+			t.Fatalf("%s: %v", reg.name, err)
+		}
+		if len(scs) != reg.want {
+			t.Fatalf("%s: %d scenarios, want %d", reg.name, len(scs), reg.want)
+		}
+		seen := make(map[string]bool)
+		for _, sc := range scs {
+			if seen[sc.Name] {
+				t.Errorf("%s: duplicate scenario name %q", reg.name, sc.Name)
+			}
+			seen[sc.Name] = true
+			if err := sc.Model.Validate(); err != nil {
+				t.Errorf("%s: %s: %v", reg.name, sc.Name, err)
+			}
+			if sc.Net == nil || sc.Protocol == nil || sc.Duration.Sign() <= 0 {
+				t.Errorf("%s: %s: incomplete scenario %+v", reg.name, sc.Name, sc)
+			}
+			// Node 0 is the adaptive source and must never be crashed.
+			if _, ok := sc.Model.Crash[0]; ok {
+				t.Errorf("%s: %s crashes node 0, the adaptive source", reg.name, sc.Name)
+			}
+		}
+	}
+
+	// Smoke coverage: every fault kind and drift profile appears.
+	scs, err := Smoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, drifts, protos := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, sc := range scs {
+		faults[sc.Fault] = true
+		drifts[sc.Drift.String()] = true
+		protos[sc.Protocol.Name()] = true
+	}
+	for _, f := range []string{"none", "crash", "loss", "partition", "churn"} {
+		if !faults[f] {
+			t.Errorf("smoke subset misses fault kind %q", f)
+		}
+	}
+	for _, d := range []DriftProfile{DriftHomogeneous, DriftHeterogeneous, DriftBursty} {
+		if !drifts[d.String()] {
+			t.Errorf("smoke subset misses drift profile %q", d)
+		}
+	}
+	if len(protos) < 2 {
+		t.Errorf("smoke subset runs %d protocols, want both max-based ones", len(protos))
+	}
+}
+
+// TestRunScenarioDeterministic: the same scenario run twice in one process
+// yields identical reports and byte-identical golden JSON — the property the
+// committed BENCH_matrix.json diff check in CI stands on.
+func TestRunScenarioDeterministic(t *testing.T) {
+	scs, err := Smoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scs[0] // torus-3x3 fault-free: the cheapest cell
+	repA, err := RunScenario(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := RunScenario(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA != repB {
+		t.Fatalf("reports differ across reruns:\n%+v\n%+v", repA, repB)
+	}
+	if !repA.Pass {
+		t.Fatalf("smoke scenario %s fails its certified bound: worst %s > bound %s",
+			repA.Name, repA.Worst, repA.Bound)
+	}
+	bytesA, err := MarshalReports([]Report{repA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesB, err := MarshalReports([]Report{repB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatal("marshaled goldens differ across reruns")
+	}
+	if bytesA[len(bytesA)-1] != '\n' {
+		t.Fatal("golden JSON misses its trailing newline")
+	}
+}
+
+// TestCertifiedBoundShape: the gate takes the minimum of its two envelopes
+// and faults only ever widen it.
+func TestCertifiedBoundShape(t *testing.T) {
+	base := BoundInput{
+		Diameter: ri(2),
+		Period:   ri(1),
+		Rho:      rf(1, 2),
+		Duration: ri(16),
+	}
+	bound, term := CertifiedBound(base)
+	if bound.Sign() <= 0 {
+		t.Fatalf("bound %s not positive", bound)
+	}
+	if term != "diameter" {
+		t.Fatalf("fault-free long run gated by %q, want the diameter term", term)
+	}
+
+	// A short horizon flips the gate to the drift cap, which is exactly
+	// 2ρ·dur.
+	short := base
+	short.Duration = ri(2)
+	capBound, capTerm := CertifiedBound(short)
+	if capTerm != "drift-cap" {
+		t.Fatalf("short run gated by %q, want drift-cap", capTerm)
+	}
+	if want := ri(2).Mul(short.Rho).Mul(short.Duration); !capBound.Equal(want) {
+		t.Fatalf("drift cap %s, want 2ρ·dur = %s", capBound, want)
+	}
+
+	// Each fault kind widens (or keeps) the propagation envelope, never
+	// narrows it.
+	for _, c := range []struct {
+		name  string
+		model FaultModel
+	}{
+		{"crash", FaultModel{Crash: map[int][]Window{1: {{From: ri(4), To: ri(6)}}}}},
+		{"loss", FaultModel{LossNum: 1, LossDen: 8}},
+		{"partition", FaultModel{Partitions: []Partition{{Window: Window{From: ri(4), To: ri(6)}}}}},
+		{"churn", FaultModel{ChurnNum: 1, ChurnDen: 8, ChurnPeriod: ri(2)}},
+	} {
+		faulted := base
+		faulted.Fault = c.model
+		fb, _ := CertifiedBound(faulted)
+		if fb.Less(bound) {
+			t.Errorf("%s: faulted bound %s below fault-free %s", c.name, fb, bound)
+		}
+	}
+
+	// A larger diameter propagation envelope is strictly wider.
+	wider := base
+	wider.Diameter = ri(4)
+	wb, _ := CertifiedBound(wider)
+	if !bound.Less(wb) {
+		t.Errorf("diameter 4 bound %s not above diameter 2 bound %s", wb, bound)
+	}
+}

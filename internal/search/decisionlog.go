@@ -98,6 +98,12 @@ func (l *DecisionLog) OnAction(a trace.Action) {
 // OnSend implements the engine Observer interface: every send is one delay
 // decision, captured at the moment the adversary fixed it.
 func (l *DecisionLog) OnSend(rec trace.MsgRecord) {
+	if rec.Dropped {
+		// A dropped message carries no delay decision: the fault layer
+		// removed it before the adversary priced it, so there is nothing
+		// to replay or mutate.
+		return
+	}
 	l.decisions = append(l.decisions, Decision{
 		Key:      rec.Key,
 		SendReal: rec.SendReal,

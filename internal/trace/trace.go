@@ -114,6 +114,7 @@ type MsgRecord struct {
 	Delay     rat.Rat
 	Payload   string
 	Delivered bool // received within the execution horizon
+	Dropped   bool // removed by the adversary's fault model at send; never delivered
 }
 
 // Execution is a completed run.
